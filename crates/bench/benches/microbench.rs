@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks of the simulator's substrate structures.
+//!
+//! These measure the *simulator's own* throughput (host-side performance),
+//! not the simulated machine — useful when extending the model, to keep
+//! the hot structures (cache probes, buffer lookups, predictors, the
+//! emulator) fast enough for Full-scale experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cpe_cpu::bpred::DirectionPredictor;
+use cpe_cpu::DirPredictorKind;
+use cpe_isa::asm::assemble;
+use cpe_isa::{decode, encode, Emulator, Inst, Op, Reg};
+use cpe_mem::{Addr, Cache, CacheGeometry, LineBufferFile, MshrFile, StoreBuffer};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("probe_hit", |b| {
+        let mut cache = Cache::new(CacheGeometry::new(32 * 1024, 2, 32));
+        for line in 0..1024u64 {
+            cache.fill(Addr::new(line * 32), false);
+        }
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 32) % (32 * 1024);
+            black_box(cache.probe(Addr::new(addr), false))
+        });
+    });
+    group.bench_function("fill_evict", |b| {
+        let mut cache = Cache::new(CacheGeometry::new(4 * 1024, 2, 32));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 32;
+            black_box(cache.fill(Addr::new(addr), addr.is_multiple_of(64)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_buffers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffers");
+    group.bench_function("store_buffer_push_pop", |b| {
+        let mut sb = StoreBuffer::new(16, true, 16);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 8;
+            if !sb.push(Addr::new(addr % 4096), 8) {
+                sb.pop();
+            }
+        });
+    });
+    group.bench_function("store_buffer_forward_miss", |b| {
+        let mut sb = StoreBuffer::new(16, true, 16);
+        for slot in 0..16u64 {
+            sb.push(Addr::new(slot * 64), 8);
+        }
+        b.iter(|| black_box(sb.forward(Addr::new(0x10_0000), 8)));
+    });
+    group.bench_function("line_buffer_lookup_hit", |b| {
+        let mut lb = LineBufferFile::new(4, 16);
+        lb.insert(Addr::new(0x1000), 0);
+        b.iter(|| black_box(lb.lookup(Addr::new(0x1008), 8)));
+    });
+    group.bench_function("mshr_request_merge", |b| {
+        let mut mshr = MshrFile::new(8);
+        mshr.request(0x40, 100, false);
+        b.iter(|| black_box(mshr.request(0x40, 100, false)));
+    });
+    group.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bpred");
+    for (name, kind) in [
+        ("bimodal", DirPredictorKind::Bimodal { entries: 4096 }),
+        (
+            "gshare",
+            DirPredictorKind::Gshare {
+                entries: 4096,
+                history_bits: 8,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut predictor = DirectionPredictor::new(kind);
+            let mut pc = 0x1000u64;
+            b.iter(|| {
+                pc = pc.wrapping_add(4);
+                let taken = pc & 8 == 0;
+                let predicted = predictor.predict(pc);
+                predictor.update(pc, taken);
+                black_box(predicted)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isa");
+    group.bench_function("encode_decode", |b| {
+        let inst = Inst::rri(Op::Addi, Reg::x(5), Reg::x(6), -42);
+        b.iter(|| black_box(decode(encode(&inst)).unwrap()));
+    });
+    group.bench_function("assemble_small_program", |b| {
+        let source = "main: li a0, 100\nloop: addi a0, a0, -1\n bnez a0, loop\n halt\n";
+        b.iter(|| black_box(assemble(source).unwrap()));
+    });
+    group.bench_function("emulator_steps", |b| {
+        let program = assemble(
+            "main: li a0, 1000000\nloop: addi a0, a0, -1\n sd a0, 0(sp)\n ld a1, 0(sp)\n bnez a0, loop\n halt\n",
+        )
+        .unwrap();
+        let mut emu = Emulator::new(program.clone());
+        b.iter(|| {
+            if emu.is_halted() {
+                emu = Emulator::new(program.clone());
+            }
+            black_box(emu.step().unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_buffers,
+    bench_predictors,
+    bench_isa
+);
+criterion_main!(benches);

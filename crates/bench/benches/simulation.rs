@@ -1,0 +1,50 @@
+//! Criterion end-to-end benchmarks: simulated instructions per host
+//! second for each workload and headline configuration.
+//!
+//! These quantify how expensive each experiment run is and catch
+//! performance regressions in the cycle loop itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cpe_core::{SimConfig, Simulator};
+use cpe_workloads::{Scale, Workload};
+
+const WINDOW: u64 = 20_000;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20k_insts");
+    group.throughput(Throughput::Elements(WINDOW));
+    group.sample_size(10);
+    for workload in Workload::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("dual_port", workload.name()),
+            &workload,
+            |b, &workload| {
+                let sim = Simulator::new(SimConfig::dual_port());
+                b.iter(|| sim.run(workload, Scale::Test, Some(WINDOW)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_configs");
+    group.throughput(Throughput::Elements(WINDOW));
+    group.sample_size(10);
+    for config in [
+        SimConfig::naive_single_port(),
+        SimConfig::combined_single_port(),
+        SimConfig::ideal_ports(),
+    ] {
+        let name = config.name.clone();
+        group.bench_function(BenchmarkId::new("compress", &name), |b| {
+            let sim = Simulator::new(config.clone());
+            b.iter(|| sim.run(Workload::Compress, Scale::Test, Some(WINDOW)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_configs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! F1 — the motivation figure: IPC versus true data-cache ports.
+//!
+//! Reconstructs the paper's opening observation: a second port buys real
+//! performance on a dynamic superscalar machine, a third and fourth buy
+//! almost nothing — so the target is making *one* port behave like two.
+
+use cpe_bench::{banner, emit, progress, verdict, Options};
+use cpe_core::{Experiment, SimConfig};
+use cpe_workloads::Workload;
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "F1",
+        "IPC vs true D-cache ports (1 / 2 / 4 / 8)",
+        "the paper's motivation figure",
+    );
+
+    let results = Experiment::new(options.scale, options.window)
+        .config(SimConfig::single_port())
+        .config(SimConfig::dual_port())
+        .config(SimConfig::quad_port())
+        .config(SimConfig::ideal_ports())
+        .workloads(&Workload::ALL)
+        .run_with_progress(progress);
+
+    emit(&options, "IPC", &results.ipc_table());
+    emit(
+        &options,
+        "normalised to one port",
+        &results.relative_table(0),
+    );
+    emit(
+        &options,
+        "port utilisation",
+        &results.metric_table("port util", |summary| summary.port_utilisation),
+    );
+
+    let second = results.geomean_relative(1, 0);
+    let beyond = results.geomean_relative(3, 0) / second;
+    verdict(
+        second > 1.05 && beyond < second,
+        &format!(
+            "second port: {:+.1}% geomean; ports 3-8 together add only {:+.1}% — \
+             diminishing returns as the paper argues",
+            (second - 1.0) * 100.0,
+            (beyond - 1.0) * 100.0
+        ),
+    );
+}

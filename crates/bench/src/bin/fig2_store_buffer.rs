@@ -1,0 +1,65 @@
+//! F2 — store-buffer depth sweep.
+//!
+//! Reconstructs the paper's first buffering result: letting committed
+//! stores wait for idle port slots instead of contending with loads at
+//! commit, as a function of buffer depth and with/without write
+//! combining.
+
+use cpe_bench::{banner, emit, progress, verdict, Options};
+use cpe_core::{Experiment, SimConfig};
+use cpe_workloads::Workload;
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "F2",
+        "store-buffer depth sweep on the single-ported cache",
+        "the paper's 'additional buffering in the processor' (store side)",
+    );
+
+    let mut configs = vec![SimConfig::naive_single_port().named("no SB")];
+    for depth in [2usize, 4, 8, 16] {
+        configs.push(
+            SimConfig::naive_single_port()
+                .with_store_buffer(depth, false)
+                .named(&format!("SB{depth}")),
+        );
+    }
+    configs.push(
+        SimConfig::naive_single_port()
+            .with_store_buffer(8, true)
+            .named("SB8+comb"),
+    );
+    let reference_index = configs.len();
+    configs.push(SimConfig::dual_port());
+
+    let results = Experiment::new(options.scale, options.window)
+        .configs(configs)
+        .workloads(&Workload::ALL)
+        .run_with_progress(progress);
+
+    emit(&options, "IPC", &results.ipc_table());
+    emit(
+        &options,
+        "relative to the dual-ported reference",
+        &results.relative_table(reference_index),
+    );
+    emit(
+        &options,
+        "commit cycles lost to rejected stores, per kilocycle",
+        &results.metric_table("store stalls/kc", |summary| summary.store_stall_per_kcycle),
+    );
+
+    let none = results.geomean_ipc(0);
+    let sb2 = results.geomean_ipc(1);
+    let sb8 = results.geomean_ipc(3);
+    let sb16 = results.geomean_ipc(4);
+    verdict(
+        sb2 > none && sb8 >= sb2 && (sb16 - sb8).abs() / sb8 < 0.05,
+        &format!(
+            "buffering helps immediately (none {:.3} → SB2 {:.3} → SB8 {:.3}) and \
+             saturates by ~8 entries (SB16 {:.3}), the paper's diminishing-depth shape",
+            none, sb2, sb8, sb16
+        ),
+    );
+}

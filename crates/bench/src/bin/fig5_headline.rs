@@ -1,0 +1,59 @@
+//! F5 — the headline figure.
+//!
+//! Reconstructs the paper's central claim: "our techniques using a
+//! single-ported cache achieve 91% of the performance of a dual-ported
+//! cache." Compares the naive single-ported machine, the combined
+//! single-port techniques, and the true dual-ported reference.
+
+use cpe_bench::{banner, emit, progress, verdict, Options};
+use cpe_core::{Experiment, SimConfig};
+use cpe_workloads::Workload;
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "F5",
+        "combined single-port techniques vs the dual-ported cache",
+        "the paper's headline 91% claim",
+    );
+
+    let results = Experiment::new(options.scale, options.window)
+        .config(SimConfig::naive_single_port())
+        .config(SimConfig::single_port())
+        .config(SimConfig::combined_single_port())
+        .config(SimConfig::dual_port())
+        .workloads(&Workload::ALL)
+        .run_with_progress(progress);
+
+    emit(&options, "IPC", &results.ipc_table());
+    emit(
+        &options,
+        "relative to the dual-ported cache",
+        &results.relative_table(3),
+    );
+    emit(
+        &options,
+        "fraction of loads served without a port slot",
+        &results.metric_table("portless loads", |summary| summary.portless_load_fraction),
+    );
+
+    let naive = results.geomean_relative(0, 3);
+    let plain = results.geomean_relative(1, 3);
+    let combined = results.geomean_relative(2, 3);
+    println!(
+        "\ngeomean relative IPC: naive 1-port {:.1}%, 1-port+write-buffer {:.1}%, \
+         combined 1-port {:.1}% of the dual-ported cache (paper: 91%).",
+        naive * 100.0,
+        plain * 100.0,
+        combined * 100.0
+    );
+    verdict(
+        naive < plain && plain < combined && combined > 0.85,
+        &format!(
+            "ordering naive < buffered < combined holds and the combined design \
+             recovers {:.0}% of dual-port performance (paper: 91%; our workloads' \
+             hot loops are alignment-friendlier, see EXPERIMENTS.md)",
+            combined * 100.0
+        ),
+    );
+}

@@ -1,0 +1,110 @@
+//! F6 — user/kernel breakdown of the headline comparison.
+//!
+//! Reconstructs the paper's full-system angle: how the port techniques
+//! behave for kernel-mode execution specifically, and how the picture
+//! changes with OS intensity (the reason the paper insisted on traces
+//! that include the operating system).
+
+use cpe_bench::{banner, emit, progress, verdict, Options};
+use cpe_core::{SimConfig, Simulator};
+use cpe_isa::Emulator;
+use cpe_stats::Table;
+use cpe_workloads::os::{OsConfig, OsInjector};
+use cpe_workloads::{Scale, Workload};
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "F6",
+        "user vs kernel breakdown of the headline configs",
+        "the paper's OS-inclusive analysis",
+    );
+
+    // Part 1: per-mode IPC for the three headline machines on the two
+    // OS-visible workloads.
+    let mut table = Table::new([
+        "workload",
+        "config",
+        "IPC",
+        "user IPC",
+        "kernel IPC",
+        "kernel cycles %",
+    ]);
+    let mut combined_kernel_ratio = 0.0f64;
+    let mut naive_kernel_ratio = 0.0f64;
+    let mut dual_kernel_ipc = 0.0f64;
+    for workload in [Workload::Pmake, Workload::Db] {
+        for config in [
+            SimConfig::naive_single_port(),
+            SimConfig::combined_single_port(),
+            SimConfig::dual_port(),
+        ] {
+            progress(workload, &config.name);
+            let name = config.name.clone();
+            let summary = Simulator::new(config).run(workload, options.scale, options.window);
+            let kernel_cycle_pct = summary.raw.cpu.kernel_cycles.as_f64() * 100.0
+                / summary.raw.cpu.cycles.as_f64().max(1.0);
+            if workload == Workload::Pmake {
+                match name.as_str() {
+                    "1-port naive" => naive_kernel_ratio = summary.kernel_ipc,
+                    "1-port combined" => combined_kernel_ratio = summary.kernel_ipc,
+                    "2-port" => dual_kernel_ipc = summary.kernel_ipc,
+                    _ => {}
+                }
+            }
+            table.row([
+                workload.name().to_string(),
+                name,
+                format!("{:.3}", summary.ipc),
+                format!("{:.3}", summary.user_ipc),
+                format!("{:.3}", summary.kernel_ipc),
+                format!("{kernel_cycle_pct:.1}"),
+            ]);
+        }
+    }
+    emit(&options, "per-mode IPC on the OS-visible workloads", &table);
+
+    // Part 2: sweep OS intensity on the build driver under the combined
+    // single-port design.
+    let scale_files = match options.scale {
+        Scale::Test => 60,
+        Scale::Small => 200,
+        Scale::Full => 900,
+    };
+    let mut sweep = Table::new(["OS presence", "kernel insts %", "IPC", "I-MPKI", "D-MPKI"]);
+    let sim = Simulator::new(SimConfig::combined_single_port());
+    for (label, os) in [
+        ("none", OsConfig::none()),
+        ("light", OsConfig::light()),
+        ("moderate", OsConfig::default()),
+        ("heavy", OsConfig::heavy()),
+    ] {
+        eprintln!("  running pmake with {label} OS ...");
+        let trace = OsInjector::new(
+            Emulator::new(cpe_workloads::programs::pmake::program(scale_files)),
+            os,
+        );
+        let summary = sim.run_trace(&format!("pmake+{label}"), trace, options.window);
+        sweep.row([
+            label.to_string(),
+            format!("{:.1}", summary.kernel_fraction * 100.0),
+            format!("{:.3}", summary.ipc),
+            format!("{:.2}", summary.icache_mpki),
+            format!("{:.2}", summary.dcache_mpki),
+        ]);
+    }
+    emit(
+        &options,
+        "OS-intensity sweep (combined single-port design)",
+        &sweep,
+    );
+
+    verdict(
+        combined_kernel_ratio >= naive_kernel_ratio && dual_kernel_ipc > 0.0,
+        &format!(
+            "kernel-mode execution also benefits from the techniques \
+             (kernel IPC naive {naive_kernel_ratio:.3} → combined {combined_kernel_ratio:.3}, \
+             dual {dual_kernel_ipc:.3}) — the gains are not a user-code artefact"
+        ),
+    );
+}

@@ -1,0 +1,77 @@
+//! F7 — sensitivity to superscalar width.
+//!
+//! Reconstructs the paper's scaling argument: the wider the dynamic
+//! superscalar machine, the more memory references per cycle it exposes,
+//! and the more a single naive port costs — while the combined techniques
+//! track the dual-ported cache across widths.
+
+use cpe_bench::{banner, emit, verdict, Options};
+use cpe_core::{Experiment, SimConfig};
+use cpe_stats::Table;
+use cpe_workloads::Workload;
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "F7",
+        "issue-width sensitivity (2 / 4 / 8-wide) × headline configs",
+        "the paper's machine-width scaling analysis",
+    );
+
+    let mut summary_table = Table::new([
+        "width",
+        "naive 1-port",
+        "combined 1-port",
+        "2-port",
+        "naive/dual",
+        "combined/dual",
+    ]);
+    let mut gaps = Vec::new();
+    for width in [2u32, 4, 8] {
+        let configs = vec![
+            SimConfig::naive_single_port().with_issue_width(width),
+            SimConfig::combined_single_port().with_issue_width(width),
+            SimConfig::dual_port().with_issue_width(width),
+        ];
+        let results = Experiment::new(options.scale, options.window)
+            .configs(configs)
+            .workloads(&Workload::ALL)
+            .run_parallel(0);
+        eprintln!("  {width}-wide grid done");
+        let naive = results.geomean_ipc(0);
+        let combined = results.geomean_ipc(1);
+        let dual = results.geomean_ipc(2);
+        let naive_rel = results.geomean_relative(0, 2);
+        let combined_rel = results.geomean_relative(1, 2);
+        gaps.push((width, naive_rel, combined_rel));
+        summary_table.row([
+            format!("{width}-wide"),
+            format!("{naive:.3}"),
+            format!("{combined:.3}"),
+            format!("{dual:.3}"),
+            format!("{:.3}", naive_rel),
+            format!("{:.3}", combined_rel),
+        ]);
+        emit(
+            &options,
+            &format!("{width}-wide machine: IPC per workload"),
+            &results.ipc_table(),
+        );
+    }
+    emit(&options, "geomean summary across widths", &summary_table);
+
+    let narrow_gap = 1.0 - gaps[0].1;
+    let wide_gap = 1.0 - gaps[2].1;
+    verdict(
+        wide_gap > narrow_gap,
+        &format!(
+            "the naive single-port penalty grows with machine width \
+             ({:.1}% at 2-wide → {:.1}% at 8-wide) while the combined design stays \
+             within {:.1}% of dual-ported at 8-wide — width amplifies the port \
+             problem exactly as the paper projects",
+            narrow_gap * 100.0,
+            wide_gap * 100.0,
+            (1.0 - gaps[2].2) * 100.0
+        ),
+    );
+}

@@ -1,0 +1,132 @@
+//! T1 — the simulated-machine parameter table.
+//!
+//! Reconstructs the paper's processor/memory-system configuration table
+//! from the live default configuration objects, so the printed table can
+//! never drift from what the simulator actually runs.
+
+use cpe_bench::{banner, emit, Options};
+use cpe_core::SimConfig;
+use cpe_stats::Table;
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "T1",
+        "simulated machine parameters",
+        "the paper's processor & memory-system configuration table",
+    );
+
+    let config = SimConfig::naive_single_port();
+    let cpu = &config.cpu;
+    let mem = &config.mem;
+    let lat = &mem.latencies;
+
+    let mut processor = Table::new(["parameter", "value"]);
+    processor
+        .row([
+            "fetch",
+            &format!(
+                "{} instructions / {}B block per cycle",
+                cpu.fetch_width, cpu.fetch_bytes
+            ),
+        ])
+        .row([
+            "dispatch / issue / commit",
+            &format!(
+                "{} / {} / {} per cycle",
+                cpu.dispatch_width, cpu.issue_width, cpu.commit_width
+            ),
+        ])
+        .row([
+            "instruction window (ROB)",
+            &format!("{} entries", cpu.rob_entries),
+        ])
+        .row([
+            "load / store queues",
+            &format!("{} / {} entries", cpu.load_queue, cpu.store_queue),
+        ])
+        .row([
+            "integer ALUs",
+            &format!(
+                "{} × {}-cycle",
+                cpu.fu.int_alu.count, cpu.fu.int_alu.latency
+            ),
+        ])
+        .row([
+            "integer mul / div",
+            &format!(
+                "{}-cycle pipelined / {}-cycle unpipelined",
+                cpu.fu.int_mul.latency, cpu.fu.int_div.latency
+            ),
+        ])
+        .row([
+            "FP add / mul / div",
+            &format!(
+                "{} / {} / {} cycles",
+                cpu.fu.fp_add.latency, cpu.fu.fp_mul.latency, cpu.fu.fp_div.latency
+            ),
+        ])
+        .row(["address-generation units", &format!("{}", cpu.fu.agu.count)])
+        .row(["branch predictor", &format!("{:?}", cpu.predictor)])
+        .row([
+            "BTB / RAS",
+            &format!("{} entries / {} deep", cpu.btb_entries, cpu.ras_entries),
+        ])
+        .row([
+            "mispredict / misfetch / trap penalty",
+            &format!(
+                "{} / {} / {} cycles",
+                cpu.mispredict_penalty, cpu.misfetch_penalty, cpu.trap_penalty
+            ),
+        ])
+        .row([
+            "memory disambiguation",
+            &format!("{:?}", cpu.disambiguation),
+        ]);
+    emit(
+        &options,
+        "processor (MXS-class 4-issue dynamic superscalar)",
+        &processor,
+    );
+
+    let mut memory = Table::new(["parameter", "value"]);
+    memory
+        .row(["L1 D-cache", &mem.dcache.to_string()])
+        .row(["L1 I-cache", &mem.icache.to_string()])
+        .row(["unified L2", &mem.l2.to_string()])
+        .row([
+            "D-cache ports (baseline)",
+            &format!("{} × {}B", mem.ports.count, mem.ports.width_bytes),
+        ])
+        .row(["MSHRs", &format!("{}", mem.mshrs)])
+        .row([
+            "L1 hit / L2 hit / DRAM latency",
+            &format!("{} / {} / {} cycles", lat.l1_hit, lat.l2_hit, lat.dram),
+        ])
+        .row([
+            "fill-bus interval",
+            &format!("1 line per {} cycles", lat.fill_interval),
+        ])
+        .row([
+            "line buffer / store forward latency",
+            &format!("{} / {} cycles", lat.line_buffer_hit, lat.store_forward),
+        ]);
+    emit(&options, "memory system", &memory);
+
+    let mut designs = Table::new(["design point", "summary"]);
+    for preset in [
+        SimConfig::naive_single_port(),
+        SimConfig::single_port(),
+        SimConfig::dual_port(),
+        SimConfig::quad_port(),
+        SimConfig::ideal_ports(),
+        SimConfig::combined_single_port(),
+    ] {
+        designs.row([preset.name.clone(), preset.to_string()]);
+    }
+    emit(
+        &options,
+        "design points compared across the experiments",
+        &designs,
+    );
+}

@@ -1,0 +1,77 @@
+//! T4 — ablation of the combined design.
+//!
+//! Removes one technique at a time from the combined single-port
+//! configuration, quantifying what each contributes in context (the
+//! paper's design-choice justification).
+
+use cpe_bench::{banner, emit, progress, verdict, Options};
+use cpe_core::{Experiment, SimConfig};
+use cpe_workloads::Workload;
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "T4",
+        "remove-one ablation of the combined single-port design",
+        "the paper's per-technique contribution analysis",
+    );
+
+    let configs = vec![
+        SimConfig::combined_single_port(),
+        SimConfig::combined_single_port()
+            .with_store_buffer(0, false)
+            .named("- store buffer"),
+        SimConfig::combined_single_port()
+            .with_store_buffer(8, false)
+            .named("- write combining"),
+        // Removing the wide port also removes load combining (which needs
+        // the width) but keeps the 16-byte line buffers.
+        SimConfig::combined_single_port()
+            .with_wide_port(8, false)
+            .named("- wide port"),
+        SimConfig::combined_single_port()
+            .with_wide_port(16, false)
+            .named("- load combining"),
+        SimConfig::combined_single_port()
+            .with_line_buffers(0, 16)
+            .named("- line buffers"),
+        SimConfig::dual_port(),
+    ];
+
+    let results = Experiment::new(options.scale, options.window)
+        .configs(configs)
+        .workloads(&Workload::ALL)
+        .run_with_progress(progress);
+
+    emit(&options, "IPC", &results.ipc_table());
+    emit(
+        &options,
+        "relative to the dual-ported reference",
+        &results.relative_table(6),
+    );
+
+    let combined = results.geomean_ipc(0);
+    let mut worst: (String, f64) = (String::new(), f64::INFINITY);
+    println!("\nper-technique contribution (geomean IPC lost when removed):");
+    for (index, label) in [
+        (1usize, "store buffer"),
+        (2, "write combining"),
+        (3, "wide port (and load combining)"),
+        (4, "load combining"),
+        (5, "line buffers"),
+    ] {
+        let without = results.geomean_ipc(index);
+        println!("  {label:<32} {:+.2}%", (without / combined - 1.0) * 100.0);
+        if without < worst.1 {
+            worst = (label.to_string(), without);
+        }
+    }
+    verdict(
+        worst.1 < combined,
+        &format!(
+            "every removal costs performance; `{}` is the single most valuable \
+             mechanism on this suite",
+            worst.0
+        ),
+    );
+}

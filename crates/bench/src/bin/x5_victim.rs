@@ -1,0 +1,74 @@
+//! X5 (extension) — victim caching alongside the port techniques.
+//!
+//! A Jouppi-style victim cache attacks *conflict misses* while the
+//! paper's techniques attack *port bandwidth*; this experiment measures
+//! both alone and together, including on a deliberately conflict-prone
+//! direct-mapped L1 where the victim cache shines.
+
+use cpe_bench::{banner, emit, progress, verdict, Options};
+use cpe_core::{Experiment, SimConfig};
+use cpe_mem::CacheGeometry;
+use cpe_workloads::Workload;
+
+fn with_victims(mut config: SimConfig, entries: usize, name: &str) -> SimConfig {
+    config.mem.victim_cache = entries;
+    config.named(name)
+}
+
+fn direct_mapped(mut config: SimConfig, name: &str) -> SimConfig {
+    config.mem.dcache = CacheGeometry::new(32 * 1024, 1, 32);
+    config.named(name)
+}
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "X5 (extension)",
+        "victim caching × associativity × the combined techniques",
+        "conflict-miss relief complementing the paper's bandwidth relief",
+    );
+
+    let configs = vec![
+        SimConfig::combined_single_port(),
+        with_victims(SimConfig::combined_single_port(), 4, "combined +VC4"),
+        direct_mapped(SimConfig::combined_single_port(), "combined DM"),
+        with_victims(
+            direct_mapped(SimConfig::combined_single_port(), ""),
+            4,
+            "combined DM +VC4",
+        ),
+        SimConfig::dual_port(),
+    ];
+    let results = Experiment::new(options.scale, options.window)
+        .configs(configs)
+        .workloads(&Workload::ALL)
+        .run_with_progress(progress);
+
+    emit(&options, "IPC", &results.ipc_table());
+    emit(
+        &options,
+        "victim-cache hits per kilo-instruction",
+        &results.metric_table("VC hits/ki", |summary| {
+            summary.raw.mem.victim_hits.get() as f64 * 1000.0 / summary.insts.max(1) as f64
+        }),
+    );
+    emit(
+        &options,
+        "D-cache demand MPKI",
+        &results.metric_table("dmpki", |summary| summary.dcache_mpki),
+    );
+
+    let two_way = results.geomean_ipc(0);
+    let two_way_vc = results.geomean_ipc(1);
+    let dm = results.geomean_ipc(2);
+    let dm_vc = results.geomean_ipc(3);
+    verdict(
+        dm_vc > dm && dm <= two_way && two_way_vc >= two_way * 0.995,
+        &format!(
+            "the victim cache recovers conflict-miss losses on the direct-mapped L1 \
+             ({dm:.3} → {dm_vc:.3}) and is near-neutral on the 2-way baseline \
+             ({two_way:.3} → {two_way_vc:.3}) — classic Jouppi behaviour, orthogonal \
+             to the port techniques"
+        ),
+    );
+}

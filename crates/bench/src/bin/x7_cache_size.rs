@@ -1,0 +1,75 @@
+//! X7 (extension) — L1 size sensitivity of the headline comparison.
+//!
+//! The techniques matter most when the port is the bottleneck, i.e. when
+//! the L1 hits; shrinking the cache converts port-bound time into
+//! miss-bound time and should compress the gap between every port
+//! organisation. This experiment sweeps the D-cache from 8 to 64 KiB.
+
+use cpe_bench::{banner, emit, verdict, Options};
+use cpe_core::{Experiment, SimConfig};
+use cpe_mem::CacheGeometry;
+use cpe_stats::Table;
+use cpe_workloads::Workload;
+
+fn sized(mut config: SimConfig, kib: u64, name: &str) -> SimConfig {
+    config.mem.dcache = CacheGeometry::new(kib * 1024, 2, 32);
+    config.named(name)
+}
+
+fn main() {
+    let options = Options::from_args();
+    banner(
+        "X7 (extension)",
+        "L1 D-cache size (8/16/32/64 KiB) × headline configs",
+        "how cache capacity modulates the port-bandwidth story",
+    );
+
+    let mut summary_table = Table::new([
+        "L1 size",
+        "naive 1-port",
+        "combined",
+        "2-port",
+        "naive/dual",
+        "combined/dual",
+    ]);
+    let mut gaps = Vec::new();
+    for kib in [8u64, 16, 32, 64] {
+        let configs = vec![
+            sized(SimConfig::naive_single_port(), kib, "naive"),
+            sized(SimConfig::combined_single_port(), kib, "combined"),
+            sized(SimConfig::dual_port(), kib, "2-port"),
+        ];
+        let results = Experiment::new(options.scale, options.window)
+            .configs(configs)
+            .workloads(&Workload::ALL)
+            .run_parallel(0);
+        eprintln!("  {kib} KiB grid done");
+        let naive = results.geomean_ipc(0);
+        let combined = results.geomean_ipc(1);
+        let dual = results.geomean_ipc(2);
+        let naive_rel = results.geomean_relative(0, 2);
+        gaps.push((kib, naive_rel));
+        summary_table.row([
+            format!("{kib} KiB"),
+            format!("{naive:.3}"),
+            format!("{combined:.3}"),
+            format!("{dual:.3}"),
+            format!("{naive_rel:.3}"),
+            format!("{:.3}", results.geomean_relative(1, 2)),
+        ]);
+    }
+    emit(&options, "geomean IPC by L1 capacity", &summary_table);
+
+    let small_gap = 1.0 - gaps[0].1;
+    let large_gap = 1.0 - gaps[3].1;
+    verdict(
+        large_gap >= small_gap * 0.8,
+        &format!(
+            "with a tiny (8 KiB) L1 the naive port penalty is {:.1}% and at 64 KiB it \
+             is {:.1}%: once working sets fit, the penalty is pure port bandwidth and \
+             capacity stops mattering — the regime the paper's techniques target",
+            small_gap * 100.0,
+            large_gap * 100.0
+        ),
+    );
+}

@@ -1,0 +1,241 @@
+//! Named machine configurations — the paper's design points.
+
+use cpe_cpu::CpuConfig;
+use cpe_mem::MemConfig;
+
+/// A complete, named simulation configuration.
+///
+/// The constructors mirror the paper's comparison set. Start from one of
+/// them and refine with the `with_*` methods:
+///
+/// ```
+/// use cpe_core::SimConfig;
+///
+/// let machine = SimConfig::naive_single_port()
+///     .with_store_buffer(8, true)
+///     .with_wide_port(16, true)
+///     .with_line_buffers(4, 16)
+///     .named("my single-port design");
+/// assert_eq!(machine.mem.ports.count, 1);
+/// assert_eq!(machine.mem.store_buffer.entries, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Label used in reports.
+    pub name: String,
+    /// Processor-core parameters.
+    pub cpu: CpuConfig,
+    /// Memory-hierarchy parameters.
+    pub mem: MemConfig,
+}
+
+impl SimConfig {
+    fn base(name: &str) -> SimConfig {
+        SimConfig {
+            name: name.to_string(),
+            cpu: CpuConfig::default(),
+            mem: MemConfig::default(),
+        }
+    }
+
+    /// The problem statement: one 8-byte data-cache port, no buffering.
+    /// Committed stores contend with loads for the single port.
+    pub fn naive_single_port() -> SimConfig {
+        SimConfig::base("1-port naive")
+    }
+
+    /// A standard single-ported machine: one 8-byte port plus the small
+    /// non-combining write buffer every multi-port preset also carries,
+    /// so the `1/2/4-port` family isolates pure port bandwidth.
+    pub fn single_port() -> SimConfig {
+        let mut config = SimConfig::base("1-port");
+        config.mem.store_buffer.entries = 4;
+        config
+    }
+
+    /// The expensive reference design: a true dual-ported data cache.
+    /// (A small store buffer is standard on such machines and keeps the
+    /// comparison honest — the paper's 91% is against a *practical*
+    /// dual-ported design.)
+    pub fn dual_port() -> SimConfig {
+        let mut config = SimConfig::base("2-port");
+        config.mem.ports.count = 2;
+        config.mem.store_buffer.entries = 4;
+        config
+    }
+
+    /// A two-access, `banks`-way interleaved cache: the era's cheap
+    /// alternative to true dual porting. Two same-cycle accesses must hit
+    /// different banks, so it approaches [`SimConfig::dual_port`] only as
+    /// bank conflicts become rare.
+    pub fn banked(banks: u32) -> SimConfig {
+        let mut config = SimConfig::base(&format!("2-acc {banks}-bank"));
+        config.mem.ports.count = 2;
+        config.mem.ports.banks = banks;
+        config.mem.store_buffer.entries = 4;
+        config
+    }
+
+    /// A four-ported cache — approaching the no-port-limit machine.
+    pub fn quad_port() -> SimConfig {
+        let mut config = SimConfig::base("4-port");
+        config.mem.ports.count = 4;
+        config.mem.store_buffer.entries = 4;
+        config
+    }
+
+    /// An effectively unconstrained port supply (one port per issue slot).
+    pub fn ideal_ports() -> SimConfig {
+        let mut config = SimConfig::base("ideal-port");
+        config.mem.ports.count = 8;
+        config.mem.store_buffer.entries = 8;
+        config
+    }
+
+    /// The paper's proposed single-port design with every technique on:
+    /// a 16-byte wide port with load combining, an 8-entry write-combining
+    /// store buffer draining into idle slots, and four 16-byte line
+    /// buffers.
+    pub fn combined_single_port() -> SimConfig {
+        SimConfig::naive_single_port()
+            .with_wide_port(16, true)
+            .with_store_buffer(8, true)
+            .with_line_buffers(4, 16)
+            .named("1-port combined")
+    }
+
+    /// Rename the configuration.
+    pub fn named(mut self, name: &str) -> SimConfig {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Set the number of true data-cache ports.
+    pub fn with_ports(mut self, count: u32) -> SimConfig {
+        self.mem.ports.count = count;
+        self
+    }
+
+    /// Add a store buffer of `entries` (0 disables), optionally
+    /// write-combining stores to one chunk into one port access.
+    pub fn with_store_buffer(mut self, entries: usize, combining: bool) -> SimConfig {
+        self.mem.store_buffer.entries = entries;
+        self.mem.store_buffer.combining = combining;
+        self
+    }
+
+    /// Widen the port to `width_bytes`, optionally letting same-chunk
+    /// loads share one access.
+    pub fn with_wide_port(mut self, width_bytes: u64, load_combining: bool) -> SimConfig {
+        self.mem.ports.width_bytes = width_bytes;
+        self.mem.ports.load_combining = load_combining;
+        // The store buffer drains in port-width chunks; keep the line
+        // buffers' default width in step unless explicitly set.
+        self
+    }
+
+    /// Add `entries` line buffers capturing `width_bytes` each.
+    pub fn with_line_buffers(mut self, entries: usize, width_bytes: u64) -> SimConfig {
+        self.mem.line_buffers.entries = entries;
+        self.mem.line_buffers.width_bytes = width_bytes;
+        self
+    }
+
+    /// Set the superscalar width (fetch/dispatch/issue/commit together).
+    pub fn with_issue_width(mut self, width: u32) -> SimConfig {
+        self.cpu.fetch_width = width;
+        self.cpu.dispatch_width = width;
+        self.cpu.issue_width = width;
+        self.cpu.commit_width = width;
+        self
+    }
+
+    /// Validate both halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either the CPU or memory configuration is inconsistent.
+    pub fn validate(&self) {
+        self.cpu.validate();
+        self.mem.validate();
+    }
+}
+
+impl Default for SimConfig {
+    /// [`SimConfig::naive_single_port`].
+    fn default() -> SimConfig {
+        SimConfig::naive_single_port()
+    }
+}
+
+impl std::fmt::Display for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} port(s) × {}B{}, SB {}{}, LB {}×{}B",
+            self.name,
+            self.mem.ports.count,
+            self.mem.ports.width_bytes,
+            if self.mem.ports.load_combining {
+                " +combine"
+            } else {
+                ""
+            },
+            self.mem.store_buffer.entries,
+            if self.mem.store_buffer.combining {
+                " +combine"
+            } else {
+                ""
+            },
+            self.mem.line_buffers.entries,
+            self.mem.line_buffers.width_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for config in [
+            SimConfig::naive_single_port(),
+            SimConfig::single_port(),
+            SimConfig::banked(4),
+            SimConfig::dual_port(),
+            SimConfig::quad_port(),
+            SimConfig::ideal_ports(),
+            SimConfig::combined_single_port(),
+        ] {
+            config.validate();
+        }
+    }
+
+    #[test]
+    fn combined_design_keeps_one_port() {
+        let config = SimConfig::combined_single_port();
+        assert_eq!(config.mem.ports.count, 1);
+        assert_eq!(config.mem.ports.width_bytes, 16);
+        assert!(config.mem.ports.load_combining);
+        assert_eq!(config.mem.store_buffer.entries, 8);
+        assert!(config.mem.store_buffer.combining);
+        assert_eq!(config.mem.line_buffers.entries, 4);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = SimConfig::dual_port().with_issue_width(8).named("wide");
+        assert_eq!(config.name, "wide");
+        assert_eq!(config.cpu.issue_width, 8);
+        assert_eq!(config.mem.ports.count, 2);
+    }
+
+    #[test]
+    fn display_summarises_the_techniques() {
+        let text = SimConfig::combined_single_port().to_string();
+        assert!(text.contains("1 port(s) × 16B +combine"), "{text}");
+        assert!(text.contains("SB 8 +combine"), "{text}");
+        assert!(text.contains("LB 4×16B"), "{text}");
+    }
+}

@@ -1,0 +1,362 @@
+//! Sweep runner: configurations × workloads → result tables.
+
+use cpe_stats::{geometric_mean, Table};
+use cpe_workloads::{Scale, Workload};
+
+use crate::config::SimConfig;
+use crate::metrics::RunSummary;
+use crate::simulator::Simulator;
+
+/// One cell of an experiment: a configuration run on a workload.
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    /// Index of the configuration in the experiment's list.
+    pub config_index: usize,
+    /// The workload.
+    pub workload: Workload,
+    /// The run's metrics.
+    pub summary: RunSummary,
+}
+
+/// A (configurations × workloads) sweep.
+///
+/// Every run is capped at the same committed-instruction window so
+/// configurations are compared over identical work.
+///
+/// ```no_run
+/// use cpe_core::{Experiment, SimConfig};
+/// use cpe_workloads::{Scale, Workload};
+///
+/// let results = Experiment::new(Scale::Small, Some(200_000))
+///     .config(SimConfig::naive_single_port())
+///     .config(SimConfig::dual_port())
+///     .workloads(&Workload::ALL)
+///     .run();
+/// println!("{}", results.ipc_table());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    scale: Scale,
+    max_insts: Option<u64>,
+    configs: Vec<SimConfig>,
+    workloads: Vec<Workload>,
+}
+
+impl Experiment {
+    /// An empty experiment at the given scale and instruction window.
+    pub fn new(scale: Scale, max_insts: Option<u64>) -> Experiment {
+        Experiment {
+            scale,
+            max_insts,
+            configs: Vec::new(),
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Add one configuration.
+    pub fn config(mut self, config: SimConfig) -> Experiment {
+        self.configs.push(config);
+        self
+    }
+
+    /// Add several configurations.
+    pub fn configs<I: IntoIterator<Item = SimConfig>>(mut self, configs: I) -> Experiment {
+        self.configs.extend(configs);
+        self
+    }
+
+    /// Add workloads.
+    pub fn workloads(mut self, workloads: &[Workload]) -> Experiment {
+        self.workloads.extend_from_slice(workloads);
+        self
+    }
+
+    /// Run the full sweep. Progress is reported through `progress`
+    /// (workload, config name) before each run when provided.
+    pub fn run_with_progress(&self, mut progress: impl FnMut(Workload, &str)) -> ExperimentResults {
+        assert!(!self.configs.is_empty(), "add at least one configuration");
+        assert!(!self.workloads.is_empty(), "add at least one workload");
+        let mut rows = Vec::new();
+        for &workload in &self.workloads {
+            for (config_index, config) in self.configs.iter().enumerate() {
+                progress(workload, &config.name);
+                let summary =
+                    Simulator::new(config.clone()).run(workload, self.scale, self.max_insts);
+                rows.push(ResultRow {
+                    config_index,
+                    workload,
+                    summary,
+                });
+            }
+        }
+        ExperimentResults {
+            configs: self.configs.clone(),
+            workloads: self.workloads.clone(),
+            rows,
+        }
+    }
+
+    /// Run the full sweep silently.
+    pub fn run(&self) -> ExperimentResults {
+        self.run_with_progress(|_, _| {})
+    }
+
+    /// Run the sweep across `threads` worker threads (each run is
+    /// independent and deterministic, so results are identical to
+    /// [`Experiment::run`] — only wall-clock changes). `threads = 0`
+    /// uses the machine's available parallelism.
+    pub fn run_parallel(&self, threads: usize) -> ExperimentResults {
+        assert!(!self.configs.is_empty(), "add at least one configuration");
+        assert!(!self.workloads.is_empty(), "add at least one workload");
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            threads
+        };
+        // The job grid, round-robin across workers for rough balance.
+        let jobs: Vec<(usize, Workload)> = self
+            .workloads
+            .iter()
+            .flat_map(|&workload| (0..self.configs.len()).map(move |index| (index, workload)))
+            .collect();
+        let mut rows: Vec<ResultRow> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers.min(jobs.len().max(1)))
+                .map(|worker| {
+                    let jobs = &jobs;
+                    let configs = &self.configs;
+                    let scale = self.scale;
+                    let max_insts = self.max_insts;
+                    scope.spawn(move || {
+                        jobs.iter()
+                            .skip(worker)
+                            .step_by(workers)
+                            .map(|&(config_index, workload)| {
+                                let summary = Simulator::new(configs[config_index].clone())
+                                    .run(workload, scale, max_insts);
+                                ResultRow {
+                                    config_index,
+                                    workload,
+                                    summary,
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("worker panicked"))
+                .collect()
+        });
+        // Restore the canonical (workload-major, config) order.
+        let workload_rank = |w: Workload| {
+            self.workloads
+                .iter()
+                .position(|&x| x == w)
+                .expect("job from grid")
+        };
+        rows.sort_by_key(|row| (workload_rank(row.workload), row.config_index));
+        ExperimentResults {
+            configs: self.configs.clone(),
+            workloads: self.workloads.clone(),
+            rows,
+        }
+    }
+}
+
+/// The completed sweep, with table builders.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    configs: Vec<SimConfig>,
+    workloads: Vec<Workload>,
+    rows: Vec<ResultRow>,
+}
+
+impl ExperimentResults {
+    /// All rows, in (workload-major, configuration) order.
+    pub fn rows(&self) -> &[ResultRow] {
+        &self.rows
+    }
+
+    /// The configurations swept.
+    pub fn configs(&self) -> &[SimConfig] {
+        &self.configs
+    }
+
+    /// The cell for (workload, config index), if present.
+    pub fn cell(&self, workload: Workload, config_index: usize) -> Option<&RunSummary> {
+        self.rows
+            .iter()
+            .find(|row| row.workload == workload && row.config_index == config_index)
+            .map(|row| &row.summary)
+    }
+
+    /// Geometric-mean IPC across workloads for one configuration.
+    pub fn geomean_ipc(&self, config_index: usize) -> f64 {
+        geometric_mean(
+            self.rows
+                .iter()
+                .filter(|row| row.config_index == config_index)
+                .map(|row| row.summary.ipc),
+        )
+        .unwrap_or(0.0)
+    }
+
+    /// Geometric-mean IPC relative to a reference configuration.
+    pub fn geomean_relative(&self, config_index: usize, reference_index: usize) -> f64 {
+        geometric_mean(self.workloads.iter().filter_map(|&workload| {
+            let this = self.cell(workload, config_index)?;
+            let reference = self.cell(workload, reference_index)?;
+            Some(this.relative_ipc(reference))
+        }))
+        .unwrap_or(0.0)
+    }
+
+    /// IPC per workload per configuration, plus a geomean row.
+    pub fn ipc_table(&self) -> Table {
+        let mut header = vec!["workload".to_string()];
+        header.extend(self.configs.iter().map(|c| c.name.clone()));
+        let mut table = Table::new(header);
+        for &workload in &self.workloads {
+            let mut row = vec![workload.name().to_string()];
+            for index in 0..self.configs.len() {
+                row.push(match self.cell(workload, index) {
+                    Some(summary) => format!("{:.3}", summary.ipc),
+                    None => "-".to_string(),
+                });
+            }
+            table.row(row);
+        }
+        let mut geo = vec!["geomean".to_string()];
+        for index in 0..self.configs.len() {
+            geo.push(format!("{:.3}", self.geomean_ipc(index)));
+        }
+        table.row(geo);
+        table
+    }
+
+    /// IPC normalised to a reference configuration, plus a geomean row.
+    pub fn relative_table(&self, reference_index: usize) -> Table {
+        let mut header = vec!["workload".to_string()];
+        header.extend(self.configs.iter().map(|c| c.name.clone()));
+        let mut table = Table::new(header);
+        for &workload in &self.workloads {
+            let mut row = vec![workload.name().to_string()];
+            let reference = self.cell(workload, reference_index);
+            for index in 0..self.configs.len() {
+                row.push(match (self.cell(workload, index), reference) {
+                    (Some(summary), Some(reference)) => {
+                        format!("{:.3}", summary.relative_ipc(reference))
+                    }
+                    _ => "-".to_string(),
+                });
+            }
+            table.row(row);
+        }
+        let mut geo = vec!["geomean".to_string()];
+        for index in 0..self.configs.len() {
+            geo.push(format!(
+                "{:.3}",
+                self.geomean_relative(index, reference_index)
+            ));
+        }
+        table.row(geo);
+        table
+    }
+
+    /// An arbitrary metric per workload per configuration.
+    pub fn metric_table(&self, name: &str, metric: impl Fn(&RunSummary) -> f64) -> Table {
+        let mut header = vec![format!("workload ({name})")];
+        header.extend(self.configs.iter().map(|c| c.name.clone()));
+        let mut table = Table::new(header);
+        for &workload in &self.workloads {
+            let mut row = vec![workload.name().to_string()];
+            for index in 0..self.configs.len() {
+                row.push(match self.cell(workload, index) {
+                    Some(summary) => format!("{:.3}", metric(summary)),
+                    None => "-".to_string(),
+                });
+            }
+            table.row(row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_experiment() -> ExperimentResults {
+        Experiment::new(Scale::Test, Some(8_000))
+            .config(SimConfig::naive_single_port())
+            .config(SimConfig::dual_port())
+            .workloads(&[Workload::Compress, Workload::Sort])
+            .run()
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let results = tiny_experiment();
+        assert_eq!(results.rows().len(), 4);
+        for workload in [Workload::Compress, Workload::Sort] {
+            for index in 0..2 {
+                assert!(results.cell(workload, index).is_some());
+            }
+        }
+        assert!(results.cell(Workload::Fft, 0).is_none());
+    }
+
+    #[test]
+    fn tables_have_the_right_shape() {
+        let results = tiny_experiment();
+        let ipc = results.ipc_table();
+        assert_eq!(ipc.len(), 3, "two workloads + geomean");
+        let relative = results.relative_table(1);
+        assert_eq!(relative.len(), 3);
+        // The reference column normalises to 1.000.
+        assert!(relative.to_csv().contains("1.000"));
+        let util = results.metric_table("port util", |s| s.port_utilisation);
+        assert_eq!(util.len(), 2);
+    }
+
+    #[test]
+    fn geomeans_are_positive_and_ordered_sanely() {
+        let results = tiny_experiment();
+        let naive = results.geomean_ipc(0);
+        let dual = results.geomean_ipc(1);
+        assert!(naive > 0.0 && dual > 0.0);
+        assert!(
+            dual >= naive * 0.95,
+            "dual-ported should not lose: {dual} vs {naive}"
+        );
+        let relative = results.geomean_relative(0, 1);
+        assert!(relative <= 1.05, "naive relative to dual: {relative}");
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let experiment = Experiment::new(Scale::Test, Some(6_000))
+            .config(SimConfig::naive_single_port())
+            .config(SimConfig::dual_port())
+            .workloads(&[Workload::Compress, Workload::Sort]);
+        let serial = experiment.run();
+        let parallel = experiment.run_parallel(3);
+        assert_eq!(serial.rows().len(), parallel.rows().len());
+        for (a, b) in serial.rows().iter().zip(parallel.rows()) {
+            assert_eq!(a.config_index, b.config_index);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.summary.cycles, b.summary.cycles);
+            assert_eq!(a.summary.insts, b.summary.insts);
+        }
+        assert_eq!(serial.ipc_table().to_csv(), parallel.ipc_table().to_csv());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_experiment_is_an_error() {
+        Experiment::new(Scale::Test, None)
+            .workloads(&[Workload::Sort])
+            .run();
+    }
+}

@@ -1,0 +1,42 @@
+//! `cpe-core` — the top-level API of the cache-port efficiency suite.
+//!
+//! This crate packages the reproduced paper's contribution as a library a
+//! downstream user can drive directly:
+//!
+//! * [`SimConfig`] — a named machine configuration, with constructors for
+//!   every design point the paper compares: the naive single-ported cache,
+//!   true dual/quad porting, and each single-port technique (store
+//!   buffering with port stealing, wide ports with load combining, line
+//!   buffers) separately and [combined](SimConfig::combined_single_port);
+//! * [`Simulator`] — binds a configuration to a workload and runs the
+//!   cycle-level model end to end;
+//! * [`RunSummary`] — the flattened metrics a study needs (IPC, port
+//!   utilisation, portless-load fraction, miss ratios, kernel/user
+//!   breakdowns);
+//! * [`Experiment`] — a sweep runner producing `cpe-stats` tables, used by
+//!   the benchmark harness to regenerate the paper's tables and figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cpe_core::{SimConfig, Simulator};
+//! use cpe_workloads::{Scale, Workload};
+//!
+//! let dual = Simulator::new(SimConfig::dual_port())
+//!     .run(Workload::Compress, Scale::Test, Some(30_000));
+//! let naive = Simulator::new(SimConfig::naive_single_port())
+//!     .run(Workload::Compress, Scale::Test, Some(30_000));
+//! assert!(dual.ipc >= naive.ipc);
+//! ```
+
+mod config;
+mod experiment;
+mod metrics;
+mod report;
+mod simulator;
+
+pub use config::SimConfig;
+pub use experiment::{Experiment, ResultRow};
+pub use metrics::RunSummary;
+pub use report::detailed_report;
+pub use simulator::Simulator;

@@ -1,0 +1,203 @@
+//! Full-detail textual reports for a single run.
+
+use cpe_stats::Table;
+
+use crate::metrics::RunSummary;
+
+/// Render a multi-section report covering every counter group of a run:
+/// the headline metrics, where loads were served, store-path behaviour,
+/// pipeline friction, and the per-cycle distributions as ASCII charts.
+///
+/// This is what `cpe run --detail` prints; it is also convenient in test
+/// failure messages.
+pub fn detailed_report(summary: &RunSummary) -> String {
+    let cpu = &summary.raw.cpu;
+    let mem = &summary.raw.mem;
+    let mut out = String::new();
+    let section = |out: &mut String, title: &str| {
+        out.push_str(&format!("\n### {title}\n\n"));
+    };
+
+    out.push_str(&format!(
+        "# {} on `{}`\n\n{} instructions in {} cycles — IPC {:.3}\n",
+        summary.workload, summary.config, summary.insts, summary.cycles, summary.ipc
+    ));
+
+    section(&mut out, "headline");
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["IPC", &format!("{:.3}", summary.ipc)])
+        .row([
+            "user / kernel IPC",
+            &format!("{:.3} / {:.3}", summary.user_ipc, summary.kernel_ipc),
+        ])
+        .row([
+            "kernel instruction share",
+            &format!("{:.1}%", summary.kernel_fraction * 100.0),
+        ])
+        .row([
+            "loads / stores per ki",
+            &format!(
+                "{:.0} / {:.0}",
+                summary.loads_per_kinst, summary.stores_per_kinst
+            ),
+        ])
+        .row([
+            "D-MPKI / I-MPKI",
+            &format!("{:.2} / {:.2}", summary.dcache_mpki, summary.icache_mpki),
+        ])
+        .row([
+            "branch mispredict rate",
+            &format!("{:.2}%", summary.mispredict_rate * 100.0),
+        ]);
+    out.push_str(&t.to_markdown());
+
+    section(&mut out, "load sourcing");
+    let loads = mem.loads.get().max(1) as f64;
+    let mut t = Table::new(["source", "count", "% of loads"]);
+    for (label, count) in [
+        ("L1 port hit", mem.load_l1_hits.get()),
+        ("line buffer (portless)", mem.load_lb_hits.get()),
+        ("combined access (portless)", mem.load_combined.get()),
+        (
+            "store-buffer forward (portless)",
+            mem.load_sb_forwards.get(),
+        ),
+        ("merged into outstanding miss", mem.load_miss_merged.get()),
+        ("new miss", mem.load_misses.get()),
+        ("LSQ forward (never left the core)", cpu.lsq_forwards.get()),
+    ] {
+        t.row([
+            label.to_string(),
+            count.to_string(),
+            format!("{:.1}", count as f64 * 100.0 / loads),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+
+    section(&mut out, "store path");
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["stores accepted", &mem.stores.get().to_string()])
+        .row([
+            "write-combined",
+            &format!(
+                "{} ({:.1}%)",
+                mem.store_combined.get(),
+                summary.store_combined_fraction * 100.0
+            ),
+        ])
+        .row([
+            "drained through idle slots",
+            &mem.store_drains.get().to_string(),
+        ])
+        .row([
+            "commit stalls / kilocycle",
+            &format!("{:.1}", summary.store_stall_per_kcycle),
+        ])
+        .row(["write-throughs", &mem.write_throughs.get().to_string()]);
+    out.push_str(&t.to_markdown());
+
+    section(&mut out, "ports and hierarchy");
+    let mut t = Table::new(["metric", "value"]);
+    t.row([
+        "port utilisation",
+        &format!("{:.1}%", summary.port_utilisation * 100.0),
+    ])
+    .row([
+        "bank conflicts / ki",
+        &format!("{:.2}", summary.bank_conflicts_per_kinst),
+    ])
+    .row([
+        "L2 hits / misses",
+        &format!("{} / {}", mem.l2_hits.get(), mem.l2_misses.get()),
+    ])
+    .row(["writebacks", &mem.writebacks.get().to_string()])
+    .row([
+        "prefetches (useful)",
+        &format!("{} ({})", mem.prefetches.get(), mem.prefetch_useful.get()),
+    ])
+    .row(["victim-cache hits", &mem.victim_hits.get().to_string()]);
+    out.push_str(&t.to_markdown());
+
+    section(&mut out, "pipeline friction");
+    let mut t = Table::new(["event", "count"]);
+    t.row([
+        "fetch stalls: redirect cycles",
+        &cpu.fetch_redirect_stall_cycles.get().to_string(),
+    ])
+    .row([
+        "fetch stalls: icache cycles",
+        &cpu.fetch_icache_stall_cycles.get().to_string(),
+    ])
+    .row([
+        "dispatch halts: ROB full",
+        &cpu.dispatch_rob_full.get().to_string(),
+    ])
+    .row([
+        "dispatch halts: LQ/SQ full",
+        &cpu.dispatch_lsq_full.get().to_string(),
+    ])
+    .row([
+        "load ordering stalls",
+        &cpu.lsq_order_stalls.get().to_string(),
+    ])
+    .row(["load retries: no port", &mem.load_no_port.get().to_string()])
+    .row([
+        "load retries: MSHRs full",
+        &mem.load_mshr_full.get().to_string(),
+    ])
+    .row([
+        "misfetches / indirect mispredicts",
+        &format!(
+            "{} / {}",
+            cpu.misfetches.get(),
+            cpu.indirect_mispredicts.get()
+        ),
+    ]);
+    out.push_str(&t.to_markdown());
+
+    section(&mut out, "port slots used per cycle");
+    out.push_str(&mem.slots_per_cycle.to_ascii_chart(40));
+    section(&mut out, "commits per cycle");
+    out.push_str(&cpu.commits_per_cycle.to_ascii_chart(40));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use cpe_workloads::{Scale, Workload};
+
+    #[test]
+    fn report_covers_every_section() {
+        let summary = Simulator::new(SimConfig::combined_single_port()).run(
+            Workload::Compress,
+            Scale::Test,
+            Some(10_000),
+        );
+        let report = detailed_report(&summary);
+        for heading in [
+            "### headline",
+            "### load sourcing",
+            "### store path",
+            "### ports and hierarchy",
+            "### pipeline friction",
+            "### port slots used per cycle",
+            "### commits per cycle",
+        ] {
+            assert!(report.contains(heading), "missing {heading}:\n{report}");
+        }
+        assert!(report.contains("IPC"));
+        assert!(report.contains('#'), "charts render bars");
+    }
+
+    #[test]
+    fn report_is_plain_printable_text() {
+        let summary =
+            Simulator::new(SimConfig::dual_port()).run(Workload::Sort, Scale::Test, Some(5_000));
+        let report = detailed_report(&summary);
+        assert!(report.lines().count() > 40);
+        assert!(!report.contains('\t'), "tables are space-aligned");
+    }
+}

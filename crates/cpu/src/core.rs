@@ -1,0 +1,1103 @@
+//! The cycle-level out-of-order core.
+
+use std::collections::VecDeque;
+
+use cpe_isa::{DynInst, Mode, Op, OpClass, Reg, INST_BYTES};
+use cpe_mem::{Addr, Cycle, LoadOutcome, MemStats, MemSystem, StoreOutcome};
+
+use crate::bpred::{Btb, DirectionPredictor, Ras};
+use crate::config::{CpuConfig, DirPredictorKind, Disambiguation};
+use crate::fu::FuPool;
+use crate::lsq::{range_covers, ranges_overlap, LoadGate};
+use crate::rob::{EntryState, RobEntry};
+use crate::stats::CpuStats;
+
+/// A simulation's outputs: cycle count, instruction count, and the full
+/// processor/memory statistics.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Core-side counters.
+    pub cpu: CpuStats,
+    /// Memory-side counters.
+    pub mem: MemStats,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle — the paper's figure of merit.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    di: DynInst,
+    mispredicted: bool,
+    available_at: Cycle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallReason {
+    Redirect,
+    ICache,
+}
+
+/// The dynamic superscalar timing model.
+///
+/// Consumes a committed-path [`DynInst`] stream (usually an
+/// [`crate::Emulator`], possibly wrapped by the OS-activity injector from
+/// `cpe-workloads`) and owns the [`MemSystem`] whose data-cache port
+/// behaviour is under study. See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Core<I: Iterator<Item = DynInst>> {
+    config: CpuConfig,
+    mem: MemSystem,
+    trace: std::iter::Peekable<I>,
+    now: Cycle,
+    next_seq: u64,
+    rob: VecDeque<RobEntry>,
+    fetch_buffer: VecDeque<Fetched>,
+    /// Architectural register → sequence number of its latest in-flight
+    /// producer.
+    map: [Option<u64>; Reg::COUNT],
+    predictor: DirectionPredictor,
+    btb: Btb,
+    ras: Ras,
+    fu: FuPool,
+    /// Fetch produces nothing before this cycle.
+    fetch_resume_at: Cycle,
+    stall_reason: StallReason,
+    /// Fetch halted until an in-flight mispredicted transfer resolves.
+    fetch_blocked_on_branch: bool,
+    /// Next wrong-path fetch address and blocks remaining, while blocked
+    /// on a misprediction (only with `wrong_path_fetch`).
+    wrong_path: Option<(u64, u32)>,
+    /// A serialising instruction (syscall/eret) is in flight.
+    serialize: bool,
+    loads_in_flight: usize,
+    stores_in_flight: usize,
+    stats: CpuStats,
+    last_mode: Mode,
+    /// Deadlock detector: cycles since the last commit or dispatch.
+    stuck_cycles: u64,
+}
+
+impl<I: Iterator<Item = DynInst>> Core<I> {
+    /// Build a core over a memory system and an instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`CpuConfig::validate`].
+    pub fn new(config: CpuConfig, mem: MemSystem, trace: I) -> Core<I> {
+        config.validate();
+        Core {
+            predictor: DirectionPredictor::new(config.predictor),
+            btb: Btb::new(config.btb_entries),
+            ras: Ras::new(config.ras_entries),
+            fu: FuPool::new(config.fu),
+            stats: CpuStats::new(config.rob_entries, config.commit_width as usize),
+            config,
+            mem,
+            trace: trace.peekable(),
+            now: 0,
+            next_seq: 0,
+            rob: VecDeque::new(),
+            fetch_buffer: VecDeque::new(),
+            map: [None; Reg::COUNT],
+            fetch_resume_at: 0,
+            stall_reason: StallReason::Redirect,
+            fetch_blocked_on_branch: false,
+            wrong_path: None,
+            serialize: false,
+            loads_in_flight: 0,
+            stores_in_flight: 0,
+            last_mode: Mode::User,
+            stuck_cycles: 0,
+        }
+    }
+
+    /// Run until the stream is drained and the machine quiesces, or until
+    /// `max_insts` instructions have committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no progress for an extended period
+    /// (which would indicate a modelling bug, not a program property).
+    pub fn run(self, max_insts: Option<u64>) -> SimResult {
+        self.run_warmed(0, max_insts)
+    }
+
+    /// Like [`Core::run`], but zero every statistic once `warmup_insts`
+    /// instructions have committed — caches, predictors and TLBs stay
+    /// warm, so the reported window measures steady-state behaviour.
+    /// `max_insts` (when given) bounds the *measured* instructions.
+    pub fn run_warmed(mut self, warmup_insts: u64, max_insts: Option<u64>) -> SimResult {
+        let limit = max_insts.unwrap_or(u64::MAX);
+        let mut warming = warmup_insts > 0;
+        while self.step() {
+            if warming && self.stats.committed.get() >= warmup_insts {
+                warming = false;
+                self.stats =
+                    CpuStats::new(self.config.rob_entries, self.config.commit_width as usize);
+                self.mem.reset_stats();
+            }
+            if !warming && self.stats.committed.get() >= limit {
+                break;
+            }
+        }
+        SimResult {
+            cycles: self.stats.cycles.get(),
+            committed: self.stats.committed.get(),
+            cpu: self.stats,
+            mem: self.mem.stats().clone(),
+        }
+    }
+
+    /// `true` when nothing remains anywhere in the machine.
+    fn finished(&mut self) -> bool {
+        self.trace.peek().is_none()
+            && self.fetch_buffer.is_empty()
+            && self.rob.is_empty()
+            && self.mem.is_quiesced()
+    }
+
+    /// Simulate one cycle. Returns `false` once the machine has finished.
+    pub fn step(&mut self) -> bool {
+        if self.finished() {
+            return false;
+        }
+        let now = self.now;
+        self.mem.begin_cycle(now);
+        self.fu.begin_cycle(now);
+
+        let committed_before = self.stats.committed.get();
+        self.commit(now);
+        self.issue(now);
+        self.dispatch(now);
+        self.fetch(now);
+        self.mem.end_cycle(now);
+
+        // Bookkeeping.
+        self.stats.cycles.inc();
+        self.stats.rob_occupancy.record(self.rob.len() as u64);
+        let mode = self
+            .rob
+            .front()
+            .map(|e| e.di.mode)
+            .or_else(|| self.fetch_buffer.front().map(|f| f.di.mode))
+            .unwrap_or(self.last_mode);
+        self.last_mode = mode;
+        match mode {
+            Mode::User => self.stats.user_cycles.inc(),
+            Mode::Kernel => self.stats.kernel_cycles.inc(),
+        }
+
+        if self.stats.committed.get() == committed_before {
+            self.stuck_cycles += 1;
+            assert!(
+                self.stuck_cycles < 100_000,
+                "pipeline made no progress for 100k cycles at cycle {now}: \
+                 rob={} fetch_buffer={} serialize={} blocked_on_branch={}",
+                self.rob.len(),
+                self.fetch_buffer.len(),
+                self.serialize,
+                self.fetch_blocked_on_branch,
+            );
+        } else {
+            self.stuck_cycles = 0;
+        }
+        self.now += 1;
+        true
+    }
+
+    // --- dependency plumbing -------------------------------------------------
+
+    /// Is the producer with sequence number `seq` ready at `now`?
+    fn seq_ready(rob: &VecDeque<RobEntry>, seq: u64, now: Cycle) -> bool {
+        let front = match rob.front() {
+            Some(front) => front.seq,
+            None => return true,
+        };
+        if seq < front {
+            return true; // retired
+        }
+        rob[(seq - front) as usize].done(now)
+    }
+
+    fn dep_ready(rob: &VecDeque<RobEntry>, dep: Option<u64>, now: Cycle) -> bool {
+        dep.is_none_or(|seq| Self::seq_ready(rob, seq, now))
+    }
+
+    /// May the load at ROB index `load_idx` leave for the cache?
+    fn gate_load(
+        rob: &VecDeque<RobEntry>,
+        load_idx: usize,
+        now: Cycle,
+        policy: Disambiguation,
+    ) -> LoadGate {
+        let load_range = rob[load_idx].mem_range().expect("loads have addresses");
+        // Under conservative ordering, any older store with an unresolved
+        // address blocks the load outright.
+        if policy == Disambiguation::Conservative {
+            for entry in rob.iter().take(load_idx) {
+                if entry.is_store() && entry.addr_known_at.is_none_or(|t| t > now) {
+                    return LoadGate::Wait;
+                }
+            }
+        }
+        // Youngest older store that overlaps decides forwarding.
+        for j in (0..load_idx).rev() {
+            let store = &rob[j];
+            if !store.is_store() {
+                continue;
+            }
+            let store_range = store.mem_range().expect("stores have addresses");
+            if !ranges_overlap(store_range, load_range) {
+                continue;
+            }
+            if policy == Disambiguation::Perfect && store.addr_known_at.is_none_or(|t| t > now) {
+                return LoadGate::Wait;
+            }
+            if range_covers(store_range, load_range) && Self::dep_ready(rob, store.data_seq, now) {
+                return LoadGate::Forward;
+            }
+            return LoadGate::Wait;
+        }
+        LoadGate::Go
+    }
+
+    // --- pipeline stages ---------------------------------------------------------
+
+    fn commit(&mut self, now: Cycle) {
+        let mut committed = 0u64;
+        while committed < u64::from(self.config.commit_width) {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done(now) {
+                break;
+            }
+            if head.is_store() {
+                let addr = Addr::new(head.di.mem_addr.expect("stores have addresses"));
+                let bytes = head.di.mem_bytes();
+                if self.mem.commit_store(now, addr, bytes) == StoreOutcome::Rejected {
+                    self.stats.commit_store_stall_cycles.inc();
+                    break;
+                }
+            }
+            let entry = self.rob.pop_front().expect("checked above");
+            let op = entry.di.inst.op;
+            if op.is_load() {
+                self.loads_in_flight -= 1;
+                self.stats.loads.inc();
+            }
+            if op.is_store() {
+                self.stores_in_flight -= 1;
+                self.stats.stores.inc();
+            }
+            if matches!(op, Op::Syscall | Op::Eret) {
+                self.serialize = false;
+            }
+            self.stats.committed.inc();
+            match entry.di.mode {
+                Mode::User => self.stats.committed_user.inc(),
+                Mode::Kernel => self.stats.committed_kernel.inc(),
+            }
+            committed += 1;
+        }
+        self.stats.commits_per_cycle.record(committed);
+    }
+
+    fn issue(&mut self, now: Cycle) {
+        let mut issued = 0u32;
+        for i in 0..self.rob.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            if self.rob[i].state != EntryState::Waiting {
+                continue;
+            }
+            let op = self.rob[i].di.inst.op;
+            match op.class() {
+                OpClass::Load => {
+                    if !Self::dep_ready(&self.rob, self.rob[i].addr_seq, now) {
+                        continue;
+                    }
+                    // Address generation needs an AGU whichever path the
+                    // data takes.
+                    if !self.fu.can_start(OpClass::Load, now) {
+                        continue;
+                    }
+                    match Self::gate_load(&self.rob, i, now, self.config.disambiguation) {
+                        LoadGate::Wait => {
+                            self.stats.lsq_order_stalls.inc();
+                            continue;
+                        }
+                        LoadGate::Forward => {
+                            self.fu
+                                .try_start(OpClass::Load, now)
+                                .expect("can_start checked");
+                            let entry = &mut self.rob[i];
+                            entry.state = EntryState::Issued;
+                            entry.ready_at = now + self.config.lsq_forward_latency;
+                            self.stats.lsq_forwards.inc();
+                            issued += 1;
+                        }
+                        LoadGate::Go => {
+                            let addr = Addr::new(self.rob[i].di.mem_addr.expect("load address"));
+                            let bytes = self.rob[i].di.mem_bytes();
+                            match self.mem.try_load(now, addr, bytes) {
+                                LoadOutcome::Ready { at, .. } => {
+                                    self.fu
+                                        .try_start(OpClass::Load, now)
+                                        .expect("can_start checked");
+                                    let entry = &mut self.rob[i];
+                                    entry.state = EntryState::Issued;
+                                    entry.ready_at = at;
+                                    issued += 1;
+                                }
+                                LoadOutcome::NoPort
+                                | LoadOutcome::MshrFull
+                                | LoadOutcome::Conflict => continue,
+                            }
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    let addr_ok = Self::dep_ready(&self.rob, self.rob[i].addr_seq, now);
+                    if addr_ok && self.rob[i].addr_known_at.is_none() {
+                        // Address generation fires as soon as the base
+                        // register is ready, independent of the data.
+                        self.rob[i].addr_known_at = Some(now);
+                    }
+                    if !addr_ok || !Self::dep_ready(&self.rob, self.rob[i].data_seq, now) {
+                        continue;
+                    }
+                    if let Some(done_at) = self.fu.try_start(OpClass::Store, now) {
+                        let entry = &mut self.rob[i];
+                        entry.state = EntryState::Issued;
+                        entry.ready_at = done_at;
+                        issued += 1;
+                    }
+                }
+                _ => {
+                    let deps = self.rob[i].src_seqs;
+                    if !deps.iter().all(|&dep| Self::dep_ready(&self.rob, dep, now)) {
+                        continue;
+                    }
+                    if let Some(done_at) = self.fu.try_start(op.class(), now) {
+                        let mispredicted = self.rob[i].mispredicted;
+                        let entry = &mut self.rob[i];
+                        entry.state = EntryState::Issued;
+                        entry.ready_at = done_at;
+                        issued += 1;
+                        if mispredicted {
+                            // The redirect leaves when the branch resolves.
+                            self.fetch_resume_at = self
+                                .fetch_resume_at
+                                .max(done_at + self.config.mispredict_penalty);
+                            self.stall_reason = StallReason::Redirect;
+                            self.fetch_blocked_on_branch = false;
+                            self.wrong_path = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle) {
+        let mut dispatched = 0u32;
+        while dispatched < self.config.dispatch_width {
+            if self.serialize {
+                break;
+            }
+            let Some(front) = self.fetch_buffer.front() else {
+                break;
+            };
+            if front.available_at > now {
+                break;
+            }
+            let op = front.di.inst.op;
+            let serializing = matches!(op, Op::Syscall | Op::Eret);
+            if serializing && !self.rob.is_empty() {
+                break;
+            }
+            if self.rob.len() >= self.config.rob_entries {
+                self.stats.dispatch_rob_full.inc();
+                break;
+            }
+            if op.is_load() && self.loads_in_flight >= self.config.load_queue {
+                self.stats.dispatch_lsq_full.inc();
+                break;
+            }
+            if op.is_store() && self.stores_in_flight >= self.config.store_queue {
+                self.stats.dispatch_lsq_full.inc();
+                break;
+            }
+
+            let fetched = self.fetch_buffer.pop_front().expect("checked above");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut entry = RobEntry::new(seq, fetched.di);
+            entry.mispredicted = fetched.mispredicted;
+
+            // Rename.
+            let inst = fetched.di.inst;
+            match op.class() {
+                OpClass::Load => {
+                    entry.addr_seq = self.producer(inst.rs1);
+                }
+                OpClass::Store => {
+                    entry.addr_seq = self.producer(inst.rs1);
+                    entry.data_seq = self.producer(inst.rs2);
+                }
+                _ => {
+                    for (slot, reg) in inst.sources().enumerate().take(2) {
+                        entry.src_seqs[slot] = self.producer(reg);
+                    }
+                }
+            }
+            if let Some(dest) = inst.dest() {
+                self.map[dest.index()] = Some(seq);
+            }
+            if op.is_load() {
+                self.loads_in_flight += 1;
+            }
+            if op.is_store() {
+                self.stores_in_flight += 1;
+            }
+            if serializing {
+                self.serialize = true;
+            }
+            self.rob.push_back(entry);
+            dispatched += 1;
+            self.stuck_cycles = 0;
+        }
+    }
+
+    fn producer(&self, reg: Reg) -> Option<u64> {
+        if reg.is_zero() {
+            return None;
+        }
+        self.map[reg.index()]
+    }
+
+    fn fetch(&mut self, now: Cycle) {
+        if self.trace.peek().is_none() {
+            return;
+        }
+        if self.fetch_blocked_on_branch {
+            // The real frontend does not idle on a misprediction: it runs
+            // down the wrong path until the redirect, dragging wrong-path
+            // blocks through the instruction cache.
+            if let Some((pc, blocks_left)) = self.wrong_path.take() {
+                let block = pc & !(self.config.fetch_bytes - 1);
+                let _ = self.mem.fetch(now, Addr::new(block));
+                self.stats.wrong_path_blocks.inc();
+                if blocks_left > 1 {
+                    self.wrong_path = Some((block + self.config.fetch_bytes, blocks_left - 1));
+                }
+            }
+            return;
+        }
+        if now < self.fetch_resume_at {
+            match self.stall_reason {
+                StallReason::Redirect => self.stats.fetch_redirect_stall_cycles.inc(),
+                StallReason::ICache => self.stats.fetch_icache_stall_cycles.inc(),
+            }
+            return;
+        }
+        let capacity = 2 * self.config.fetch_width as usize;
+        if self.fetch_buffer.len() >= capacity {
+            return;
+        }
+
+        // One instruction block per cycle through the instruction cache.
+        let block_mask = !(self.config.fetch_bytes - 1);
+        let first_pc = self.trace.peek().expect("checked above").pc;
+        let block = first_pc & block_mask;
+        let outcome = self.mem.fetch(now, Addr::new(block));
+        if outcome.ready_at > now {
+            self.fetch_resume_at = outcome.ready_at;
+            self.stall_reason = StallReason::ICache;
+            self.stats.fetch_icache_stall_cycles.inc();
+            return;
+        }
+
+        let mut fetched = 0;
+        while fetched < self.config.fetch_width && self.fetch_buffer.len() < capacity {
+            let Some(peek) = self.trace.peek() else { break };
+            if peek.pc & block_mask != block {
+                break; // the next block waits for the next cycle
+            }
+            let di = self.trace.next().expect("peeked above");
+            fetched += 1;
+            let misprediction = self.predict(now, &di);
+            let mispredicted = misprediction.is_some();
+            let stop = mispredicted
+                || di.diverted()
+                || matches!(di.inst.op, Op::Syscall | Op::Eret | Op::Halt);
+            self.fetch_buffer.push_back(Fetched {
+                di,
+                mispredicted,
+                available_at: now + 1,
+            });
+            if let Some(wrong_start) = misprediction {
+                self.fetch_blocked_on_branch = true;
+                if self.config.wrong_path_fetch {
+                    // Run ahead a bounded number of blocks, as a real
+                    // fetch queue would.
+                    self.wrong_path = wrong_start.map(|pc| (pc, 8));
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// Consult and train the predictors for a fetched instruction.
+    ///
+    /// Returns `None` for a correct prediction, and
+    /// `Some(wrong_path_start)` for a misprediction that blocks fetch
+    /// until resolve — where `wrong_path_start` is the address the
+    /// frontend *would* have fetched next (`None` when unknowable, e.g.
+    /// an indirect jump with no prediction at all).
+    fn predict(&mut self, now: Cycle, di: &DynInst) -> Option<Option<u64>> {
+        let pc = di.pc;
+        match di.inst.op.class() {
+            OpClass::Branch => {
+                self.stats.branches.inc();
+                let predicted = match self.predictor.kind() {
+                    DirPredictorKind::Btfn => DirectionPredictor::predict_btfn(di.inst.imm),
+                    _ => self.predictor.predict(pc),
+                };
+                self.predictor.update(pc, di.taken);
+                if predicted != di.taken {
+                    self.stats.mispredicts.inc();
+                    // Predicted taken → the frontend ran to the branch
+                    // target; predicted not-taken → it fell through.
+                    let wrong = if predicted {
+                        pc.wrapping_add(di.inst.imm as u64)
+                    } else {
+                        pc + INST_BYTES
+                    };
+                    return Some(Some(wrong));
+                }
+                if di.taken {
+                    if self.btb.lookup(pc) != Some(di.next_pc) {
+                        self.stats.misfetches.inc();
+                        self.fetch_resume_at = now + 1 + self.config.misfetch_penalty;
+                        self.stall_reason = StallReason::Redirect;
+                    }
+                    self.btb.update(pc, di.next_pc);
+                }
+                None
+            }
+            OpClass::Jump => match di.inst.op {
+                Op::Jal => {
+                    if di.inst.rd == Reg::RA {
+                        self.ras.push(pc + INST_BYTES);
+                    }
+                    if self.btb.lookup(pc) != Some(di.next_pc) {
+                        self.stats.misfetches.inc();
+                        self.fetch_resume_at = now + 1 + self.config.misfetch_penalty;
+                        self.stall_reason = StallReason::Redirect;
+                        self.btb.update(pc, di.next_pc);
+                    }
+                    None
+                }
+                _ => {
+                    // jalr: returns predict through the RAS, other
+                    // indirections through the BTB.
+                    let is_return = di.inst.rd.is_zero() && di.inst.rs1 == Reg::RA;
+                    let predicted = if is_return {
+                        self.ras.pop()
+                    } else {
+                        self.btb.lookup(pc)
+                    };
+                    if di.inst.rd == Reg::RA {
+                        self.ras.push(pc + INST_BYTES);
+                    }
+                    if predicted == Some(di.next_pc) {
+                        None
+                    } else {
+                        self.stats.indirect_mispredicts.inc();
+                        self.btb.update(pc, di.next_pc);
+                        // The frontend ran down the *predicted* indirect
+                        // target, when it had one.
+                        Some(predicted)
+                    }
+                }
+            },
+            OpClass::System if matches!(di.inst.op, Op::Syscall | Op::Eret) => {
+                // Pipeline drain + vectoring latency.
+                self.fetch_resume_at = now + 1 + self.config.trap_penalty;
+                self.stall_reason = StallReason::Redirect;
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// The memory system (for inspection mid-run in tests).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Core statistics so far.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests tweak one field of a default config at a time; the
+    // struct-update suggestion reads worse there.
+    #![allow(clippy::field_reassign_with_default)]
+
+    use super::*;
+    use cpe_isa::asm::assemble;
+    use cpe_mem::MemConfig;
+
+    use cpe_isa::Emulator;
+
+    fn run_src(src: &str, cpu: CpuConfig, mem: MemConfig) -> SimResult {
+        let program = assemble(src).expect("assembles");
+        let core = Core::new(cpu, MemSystem::new(mem), Emulator::new(program));
+        core.run(None)
+    }
+
+    const SUM_LOOP: &str = "main: li a0, 200\n li a1, 0\nloop: add a1, a1, a0\n addi a0, a0, -1\n bnez a0, loop\n halt\n";
+
+    #[test]
+    fn commits_every_instruction_exactly_once() {
+        let program = assemble(SUM_LOOP).unwrap();
+        let expected = Emulator::new(program).count() as u64;
+        let result = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
+        assert_eq!(result.committed, expected);
+        assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn tight_loop_reaches_reasonable_ipc() {
+        let result = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
+        // The loop carries a serial add chain; anything near 1+ IPC means
+        // fetch/branch prediction are not pathological.
+        assert!(result.ipc() > 0.8, "ipc = {}", result.ipc());
+        assert!(
+            result.cpu.mispredict_ratio().percent() < 10.0,
+            "loop branch must become predictable: {}",
+            result.cpu.mispredict_ratio()
+        );
+    }
+
+    #[test]
+    fn loads_and_stores_flow_through_the_memory_system() {
+        let src = r#"
+            .data
+            buf: .space 4096
+            .text
+            main:
+                la   t0, buf
+                li   t1, 64
+            fill:
+                sd   t1, 0(t0)
+                addi t0, t0, 8
+                addi t1, t1, -1
+                bnez t1, fill
+                la   t0, buf
+                li   t1, 64
+                li   a0, 0
+            sum:
+                ld   t2, 0(t0)
+                add  a0, a0, t2
+                addi t0, t0, 8
+                addi t1, t1, -1
+                bnez t1, sum
+                halt
+        "#;
+        let result = run_src(src, CpuConfig::default(), MemConfig::default());
+        assert_eq!(result.cpu.stores.get(), 64);
+        assert_eq!(result.cpu.loads.get(), 64);
+        assert_eq!(result.mem.stores.get(), 64);
+        assert!(result.mem.loads.get() >= 64);
+    }
+
+    #[test]
+    fn ipc_improves_with_a_second_cache_port() {
+        // A cache-resident working set with four independent loads per
+        // iteration: the single port is the only bottleneck.
+        let src = r#"
+            .data
+            buf: .space 1024
+            .text
+            main:
+                li   s1, 20           # outer repeats (first pass warms L1)
+            outer:
+                la   t0, buf
+                li   t1, 32           # 32 iterations x 32B = 1KB
+            loop:
+                ld   a0, 0(t0)
+                ld   a1, 8(t0)
+                ld   a2, 16(t0)
+                ld   a3, 24(t0)
+                addi t0, t0, 32
+                addi t1, t1, -1
+                bnez t1, loop
+                addi s1, s1, -1
+                bnez s1, outer
+                halt
+        "#;
+        let one = run_src(src, CpuConfig::default(), MemConfig::default());
+        let mut dual = MemConfig::default();
+        dual.ports.count = 2;
+        let two = run_src(src, CpuConfig::default(), dual);
+        assert!(
+            two.ipc() > one.ipc() * 1.2,
+            "dual-ported should clearly win: {} vs {}",
+            two.ipc(),
+            one.ipc()
+        );
+    }
+
+    #[test]
+    fn store_to_load_forwarding_in_the_lsq() {
+        // A store immediately followed by a covering load of the same slot.
+        let src = r#"
+            .data
+            buf: .space 64
+            .text
+            main:
+                la   t0, buf
+                li   t1, 100
+            loop:
+                sd   t1, 0(t0)
+                ld   a0, 0(t0)
+                addi t1, t1, -1
+                bnez t1, loop
+                halt
+        "#;
+        let result = run_src(src, CpuConfig::default(), MemConfig::default());
+        // Whether a given iteration forwards depends on whether the store
+        // is still in flight when the load issues; a healthy LSQ forwards a
+        // substantial fraction.
+        assert!(
+            result.cpu.lsq_forwards.get() > 20,
+            "forwarding should satisfy a sizable share of these loads: {}",
+            result.cpu.lsq_forwards.get()
+        );
+    }
+
+    #[test]
+    fn conservative_ordering_stalls_more_than_perfect() {
+        // The store's *address* is computed by a multiply, so it resolves
+        // late; the loads target a disjoint array. Conservative ordering
+        // makes every load wait for the store address; perfect
+        // disambiguation (no actual overlap) never waits.
+        let src = r#"
+            .data
+            a: .space 1024
+            b: .space 8192
+            .text
+            main:
+                la   s0, a
+                la   s1, b
+                li   t2, 300
+            loop:
+                mul  t3, t2, t2
+                andi t3, t3, 1016     # 8-byte-aligned offset within a
+                add  t3, t3, s0
+                sd   t2, 0(t3)        # store address known late
+                ld   a0, 0(s1)
+                ld   a1, 8(s1)
+                addi s1, s1, 16
+                addi t2, t2, -1
+                bnez t2, loop
+                halt
+        "#;
+        let mut cons_cfg = CpuConfig::default();
+        cons_cfg.disambiguation = Disambiguation::Conservative;
+        let conservative = run_src(src, cons_cfg, MemConfig::default());
+        let mut cfg = CpuConfig::default();
+        cfg.disambiguation = Disambiguation::Perfect;
+        let perfect = run_src(src, cfg, MemConfig::default());
+        assert_eq!(perfect.cpu.lsq_order_stalls.get(), 0, "arrays never alias");
+        assert!(
+            conservative.cpu.lsq_order_stalls.get() > 200,
+            "every iteration's loads wait on the multiply: {}",
+            conservative.cpu.lsq_order_stalls.get()
+        );
+        assert!(perfect.ipc() > conservative.ipc());
+    }
+
+    #[test]
+    fn function_calls_exercise_the_ras() {
+        let src = r#"
+            main:
+                li   s0, 50
+            loop:
+                li   a0, 3
+                call work
+                addi s0, s0, -1
+                bnez s0, loop
+                halt
+            work:
+                add  a0, a0, a0
+                ret
+        "#;
+        let result = run_src(src, CpuConfig::default(), MemConfig::default());
+        // After warm-up, returns predict through the RAS; only the first
+        // couple of iterations may miss.
+        assert!(
+            result.cpu.indirect_mispredicts.get() <= 3,
+            "RAS should predict returns: {}",
+            result.cpu.indirect_mispredicts.get()
+        );
+    }
+
+    #[test]
+    fn syscalls_serialize_but_complete() {
+        let src =
+            "main: li t0, 10\nloop: li a7, 3\n syscall\n addi t0, t0, -1\n bnez t0, loop\n halt\n";
+        let result = run_src(src, CpuConfig::default(), MemConfig::default());
+        let baseline = run_src(
+            "main: li t0, 10\nloop: li a7, 3\n nop\n addi t0, t0, -1\n bnez t0, loop\n halt\n",
+            CpuConfig::default(),
+            MemConfig::default(),
+        );
+        assert!(
+            result.cycles > baseline.cycles + 50,
+            "{} vs {}",
+            result.cycles,
+            baseline.cycles
+        );
+    }
+
+    #[test]
+    fn narrow_machine_is_slower() {
+        let mut narrow = CpuConfig::default();
+        narrow.fetch_width = 1;
+        narrow.dispatch_width = 1;
+        narrow.issue_width = 1;
+        narrow.commit_width = 1;
+        let slow = run_src(SUM_LOOP, narrow, MemConfig::default());
+        let fast = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
+        assert!(
+            slow.cycles > fast.cycles,
+            "{} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn rob_occupancy_never_exceeds_capacity() {
+        let mut cfg = CpuConfig::default();
+        cfg.rob_entries = 16;
+        let result = run_src(SUM_LOOP, cfg, MemConfig::default());
+        assert!(result.cpu.rob_occupancy.max_seen() <= 16);
+        assert!(result.cpu.rob_occupancy.overflow() == 0);
+    }
+
+    #[test]
+    fn commit_width_bounds_per_cycle_commits() {
+        let result = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
+        assert!(result.cpu.commits_per_cycle.max_seen() <= 4);
+        let total: u64 = result
+            .cpu
+            .commits_per_cycle
+            .iter()
+            .map(|(value, count)| value as u64 * count)
+            .sum();
+        assert_eq!(total, result.committed);
+    }
+
+    #[test]
+    fn btfn_predictor_wins_on_backward_loops_only() {
+        // SUM_LOOP's only branch is backward-taken: BTFN predicts it
+        // perfectly except the final fall-through.
+        let mut cfg = CpuConfig::default();
+        cfg.predictor = DirPredictorKind::Btfn;
+        let result = run_src(SUM_LOOP, cfg, MemConfig::default());
+        assert_eq!(result.cpu.mispredicts.get(), 1, "only the loop exit");
+    }
+
+    #[test]
+    fn local_predictor_runs_end_to_end() {
+        let mut cfg = CpuConfig::default();
+        cfg.predictor = DirPredictorKind::Local {
+            history_entries: 256,
+            history_bits: 6,
+        };
+        let result = run_src(SUM_LOOP, cfg, MemConfig::default());
+        assert!(result.cpu.mispredict_ratio().percent() < 10.0);
+    }
+
+    #[test]
+    fn misfetches_happen_once_per_cold_taken_target() {
+        // A chain of calls to distinct targets: each first-taken transfer
+        // misses the BTB once, then hits.
+        let src = r#"
+            main:
+                li   s0, 20
+            loop:
+                call fn_a
+                call fn_b
+                addi s0, s0, -1
+                bnez s0, loop
+                halt
+            fn_a: ret
+            fn_b: ret
+        "#;
+        let result = run_src(src, CpuConfig::default(), MemConfig::default());
+        // jal targets and the loop backedge warm up quickly; the
+        // misfetch count stays far below the transfer count.
+        assert!(
+            result.cpu.misfetches.get() <= 8,
+            "misfetches: {}",
+            result.cpu.misfetches.get()
+        );
+    }
+
+    #[test]
+    fn serialization_drains_the_window_before_traps() {
+        // A syscall must not dispatch alongside older instructions.
+        let src = "main: li a7, 3
+ li t0, 5
+ li t1, 6
+ syscall
+ add t2, t0, t1
+ halt
+";
+        let result = run_src(src, CpuConfig::default(), MemConfig::default());
+        assert_eq!(result.committed, 6);
+        // The trap penalty plus drain makes this far slower than 6/4 cycles.
+        assert!(result.cycles > 10, "{}", result.cycles);
+    }
+
+    #[test]
+    fn zero_latency_forwarding_does_not_exist() {
+        // A chain of dependent adds commits at most one per cycle after
+        // warmup: cycles >= chain length.
+        let src = "main: li a0, 1
+ add a0, a0, a0
+ add a0, a0, a0
+ add a0, a0, a0
+ add a0, a0, a0
+ add a0, a0, a0
+ add a0, a0, a0
+ halt
+";
+        let result = run_src(src, CpuConfig::default(), MemConfig::default());
+        assert!(
+            result.cycles >= 6,
+            "dependent chain must serialise: {}",
+            result.cycles
+        );
+    }
+
+    #[test]
+    fn wrong_path_fetch_pollutes_the_icache() {
+        // A data-dependent unpredictable branch selecting between two far
+        // code paths: wrong-path fetch drags the untaken side through the
+        // i-cache.
+        let src = r#"
+            .data
+            keys: .space 8192
+            .text
+            main:
+                # pseudo-random keys
+                la   t0, keys
+                li   t1, 1024
+                li   t2, 998877
+            gen:
+                slli t3, t2, 13
+                xor  t2, t2, t3
+                srli t3, t2, 7
+                xor  t2, t2, t3
+                slli t3, t2, 17
+                xor  t2, t2, t3
+                sd   t2, 0(t0)
+                addi t0, t0, 8
+                addi t1, t1, -1
+                bnez t1, gen
+                la   t0, keys
+                li   t1, 1024
+                li   a0, 0
+            loop:
+                ld   t2, 0(t0)
+                andi t2, t2, 1
+                bnez t2, odd
+                addi a0, a0, 1
+                j    next
+            odd:
+                addi a0, a0, 3
+            next:
+                addi t0, t0, 8
+                addi t1, t1, -1
+                bnez t1, loop
+                halt
+        "#;
+        let without = run_src(src, CpuConfig::default(), MemConfig::default());
+        let mut cfg = CpuConfig::default();
+        cfg.wrong_path_fetch = true;
+        let with = run_src(src, cfg, MemConfig::default());
+        assert_eq!(without.cpu.wrong_path_blocks.get(), 0);
+        assert!(
+            with.cpu.wrong_path_blocks.get() > 100,
+            "unpredictable branches must trigger wrong-path runs: {}",
+            with.cpu.wrong_path_blocks.get()
+        );
+        // Same architectural work either way.
+        assert_eq!(with.committed, without.committed);
+        // Wrong-path fetch adds i-cache traffic (fetches counter includes
+        // the wrong-path blocks).
+        assert!(with.mem.fetches.get() > without.mem.fetches.get());
+    }
+
+    #[test]
+    fn wrong_path_fetch_off_by_default_and_deterministic() {
+        let mut cfg = CpuConfig::default();
+        cfg.wrong_path_fetch = true;
+        let a = run_src(SUM_LOOP, cfg, MemConfig::default());
+        let b = run_src(SUM_LOOP, cfg, MemConfig::default());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cpu.wrong_path_blocks.get(), b.cpu.wrong_path_blocks.get());
+    }
+
+    #[test]
+    fn determinism_end_to_end() {
+        let a = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
+        let b = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.mem.loads.get(), b.mem.loads.get());
+    }
+
+    #[test]
+    fn max_inst_cap_stops_early() {
+        let program = assemble(SUM_LOOP).unwrap();
+        let core = Core::new(
+            CpuConfig::default(),
+            MemSystem::new(MemConfig::default()),
+            Emulator::new(program),
+        );
+        let result = core.run(Some(100));
+        assert!(result.committed >= 100);
+        assert!(result.committed < 200);
+    }
+}

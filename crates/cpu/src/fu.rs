@@ -1,0 +1,207 @@
+//! Functional-unit occupancy tracking.
+
+use cpe_isa::OpClass;
+use cpe_mem::Cycle;
+
+use crate::config::{FuConfig, FuSpec};
+
+#[derive(Debug, Clone)]
+struct ClassState {
+    spec: FuSpec,
+    /// For unpipelined units: when each unit next accepts an operation.
+    busy_until: Vec<Cycle>,
+    /// For pipelined units: operations started this cycle.
+    started_this_cycle: u32,
+}
+
+impl ClassState {
+    fn new(spec: FuSpec) -> ClassState {
+        ClassState {
+            spec,
+            busy_until: vec![0; spec.count as usize],
+            started_this_cycle: 0,
+        }
+    }
+
+    fn can_start(&self, now: Cycle) -> bool {
+        if self.spec.pipelined {
+            self.started_this_cycle < self.spec.count
+        } else {
+            self.busy_until.iter().any(|free_at| *free_at <= now)
+        }
+    }
+
+    fn try_start(&mut self, now: Cycle) -> Option<Cycle> {
+        if self.spec.pipelined {
+            if self.started_this_cycle >= self.spec.count {
+                return None;
+            }
+            self.started_this_cycle += 1;
+            Some(now + self.spec.latency)
+        } else {
+            let unit = self
+                .busy_until
+                .iter_mut()
+                .find(|free_at| **free_at <= now)?;
+            *unit = now + self.spec.latency;
+            Some(now + self.spec.latency)
+        }
+    }
+}
+
+/// The pool of functional units, one class per [`OpClass`].
+///
+/// Each cycle, [`FuPool::begin_cycle`] resets the pipelined-issue budget;
+/// [`FuPool::try_start`] claims a unit and returns the completion cycle.
+///
+/// ```
+/// use cpe_cpu::{FuPool, FuConfig};
+/// use cpe_isa::OpClass;
+///
+/// let mut pool = FuPool::new(FuConfig::default());
+/// pool.begin_cycle(10);
+/// for _ in 0..4 {
+///     assert_eq!(pool.try_start(OpClass::IntAlu, 10), Some(11));
+/// }
+/// assert_eq!(pool.try_start(OpClass::IntAlu, 10), None, "four ALUs only");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    int_alu: ClassState,
+    int_mul: ClassState,
+    int_div: ClassState,
+    fp_add: ClassState,
+    fp_mul: ClassState,
+    fp_div: ClassState,
+    agu: ClassState,
+}
+
+impl FuPool {
+    /// Build the pool from its configuration.
+    pub fn new(config: FuConfig) -> FuPool {
+        FuPool {
+            int_alu: ClassState::new(config.int_alu),
+            int_mul: ClassState::new(config.int_mul),
+            int_div: ClassState::new(config.int_div),
+            fp_add: ClassState::new(config.fp_add),
+            fp_mul: ClassState::new(config.fp_mul),
+            fp_div: ClassState::new(config.fp_div),
+            agu: ClassState::new(config.agu),
+        }
+    }
+
+    fn class_mut(&mut self, class: OpClass) -> &mut ClassState {
+        match class {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::System => {
+                &mut self.int_alu
+            }
+            OpClass::IntMul => &mut self.int_mul,
+            OpClass::IntDiv => &mut self.int_div,
+            OpClass::FpAdd => &mut self.fp_add,
+            OpClass::FpMul => &mut self.fp_mul,
+            OpClass::FpDiv => &mut self.fp_div,
+            // Memory ops use an AGU for address generation; the cache port
+            // itself is modelled in cpe-mem.
+            OpClass::Load | OpClass::Store => &mut self.agu,
+        }
+    }
+
+    /// Start a new cycle: pipelined units accept a fresh batch.
+    pub fn begin_cycle(&mut self, _now: Cycle) {
+        for class in [
+            &mut self.int_alu,
+            &mut self.int_mul,
+            &mut self.int_div,
+            &mut self.fp_add,
+            &mut self.fp_mul,
+            &mut self.fp_div,
+            &mut self.agu,
+        ] {
+            class.started_this_cycle = 0;
+        }
+    }
+
+    /// Claim a unit of `class` at cycle `now`. Returns the cycle the result
+    /// is available, or `None` when every unit is busy.
+    pub fn try_start(&mut self, class: OpClass, now: Cycle) -> Option<Cycle> {
+        self.class_mut(class).try_start(now)
+    }
+
+    /// `true` when [`FuPool::try_start`] would succeed for `class` at
+    /// cycle `now` — useful to avoid committing other resources first.
+    pub fn can_start(&self, class: OpClass, now: Cycle) -> bool {
+        let state = match class {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::System => &self.int_alu,
+            OpClass::IntMul => &self.int_mul,
+            OpClass::IntDiv => &self.int_div,
+            OpClass::FpAdd => &self.fp_add,
+            OpClass::FpMul => &self.fp_mul,
+            OpClass::FpDiv => &self.fp_div,
+            OpClass::Load | OpClass::Store => &self.agu,
+        };
+        state.can_start(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests tweak one field of a default config at a time; the
+    // struct-update suggestion reads worse there.
+    #![allow(clippy::field_reassign_with_default)]
+
+    use super::*;
+
+    #[test]
+    fn unpipelined_divider_blocks_back_to_back() {
+        let mut pool = FuPool::new(FuConfig::default());
+        pool.begin_cycle(0);
+        let done = pool.try_start(OpClass::IntDiv, 0).unwrap();
+        assert_eq!(done, 20);
+        assert_eq!(pool.try_start(OpClass::IntDiv, 0), None);
+        // Still busy halfway through...
+        pool.begin_cycle(10);
+        assert_eq!(pool.try_start(OpClass::IntDiv, 10), None);
+        // ...free once the operation completes.
+        pool.begin_cycle(20);
+        assert_eq!(pool.try_start(OpClass::IntDiv, 20), Some(40));
+    }
+
+    #[test]
+    fn pipelined_units_accept_one_per_cycle_each() {
+        let mut pool = FuPool::new(FuConfig::default());
+        pool.begin_cycle(0);
+        assert!(pool.try_start(OpClass::IntMul, 0).is_some());
+        assert!(
+            pool.try_start(OpClass::IntMul, 0).is_none(),
+            "one multiplier"
+        );
+        pool.begin_cycle(1);
+        assert_eq!(
+            pool.try_start(OpClass::IntMul, 1),
+            Some(5),
+            "pipelined restart"
+        );
+    }
+
+    #[test]
+    fn branches_share_the_integer_alus() {
+        let mut config = FuConfig::default();
+        config.int_alu = FuSpec::new(2, 1, true);
+        let mut pool = FuPool::new(config);
+        pool.begin_cycle(0);
+        assert!(pool.try_start(OpClass::Branch, 0).is_some());
+        assert!(pool.try_start(OpClass::IntAlu, 0).is_some());
+        assert!(pool.try_start(OpClass::IntAlu, 0).is_none());
+    }
+
+    #[test]
+    fn memory_ops_use_the_agus() {
+        let mut pool = FuPool::new(FuConfig::default());
+        pool.begin_cycle(0);
+        assert!(pool.try_start(OpClass::Load, 0).is_some());
+        assert!(pool.try_start(OpClass::Store, 0).is_some());
+        assert!(pool.try_start(OpClass::Load, 0).is_none(), "two AGUs");
+        // ALUs unaffected.
+        assert!(pool.try_start(OpClass::IntAlu, 0).is_some());
+    }
+}

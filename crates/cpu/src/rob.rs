@@ -1,0 +1,125 @@
+//! Reorder-buffer entries.
+
+use cpe_isa::DynInst;
+use cpe_mem::Cycle;
+
+/// Progress of one in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Waiting in the issue window for operands, a functional unit, or (for
+    /// memory ops) a cache port.
+    Waiting,
+    /// Issued; the result is available at [`RobEntry::ready_at`].
+    Issued,
+}
+
+/// One reorder-buffer slot.
+///
+/// Rename is seq-based: each dispatched instruction receives a
+/// monotonically increasing sequence number, and operands record the
+/// sequence numbers of their producers. A producer older than the ROB head
+/// has retired and is architecturally ready.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// This instruction's sequence number.
+    pub seq: u64,
+    /// The executed-path record.
+    pub di: DynInst,
+    /// Pipeline progress.
+    pub state: EntryState,
+    /// Producers of the register sources (excluding memory/data, below).
+    pub src_seqs: [Option<u64>; 2],
+    /// For loads/stores: producer of the base (address) register.
+    pub addr_seq: Option<u64>,
+    /// For stores: producer of the data register.
+    pub data_seq: Option<u64>,
+    /// Result availability (valid once [`EntryState::Issued`]).
+    pub ready_at: Cycle,
+    /// For stores: cycle the effective address became known (address
+    /// generation fired), used for load/store disambiguation.
+    pub addr_known_at: Option<Cycle>,
+    /// Fetch-time annotation: the direction/target prediction was wrong,
+    /// so fetch is blocked until this entry resolves.
+    pub mispredicted: bool,
+}
+
+impl RobEntry {
+    /// A freshly dispatched entry with no resolved operands.
+    pub fn new(seq: u64, di: DynInst) -> RobEntry {
+        RobEntry {
+            seq,
+            di,
+            state: EntryState::Waiting,
+            src_seqs: [None, None],
+            addr_seq: None,
+            data_seq: None,
+            ready_at: 0,
+            addr_known_at: None,
+            mispredicted: false,
+        }
+    }
+
+    /// `true` once the result is available at cycle `now`.
+    pub fn done(&self, now: Cycle) -> bool {
+        self.state == EntryState::Issued && self.ready_at <= now
+    }
+
+    /// `true` for load instructions.
+    pub fn is_load(&self) -> bool {
+        self.di.inst.op.is_load()
+    }
+
+    /// `true` for store instructions.
+    pub fn is_store(&self) -> bool {
+        self.di.inst.op.is_store()
+    }
+
+    /// Byte range `[start, end)` of the memory access, when any.
+    pub fn mem_range(&self) -> Option<(u64, u64)> {
+        let addr = self.di.mem_addr?;
+        Some((addr, addr + self.di.mem_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::{Inst, Mode, Op, Reg};
+
+    fn entry(op: Op) -> RobEntry {
+        let inst = match op.class() {
+            cpe_isa::OpClass::Load => Inst::load(op, Reg::x(1), Reg::SP, 0),
+            cpe_isa::OpClass::Store => Inst::store(op, Reg::x(1), Reg::SP, 0),
+            _ => Inst::nop(),
+        };
+        let di = DynInst {
+            pc: 0x1000,
+            inst,
+            mem_addr: op.is_mem().then_some(0x2000),
+            taken: false,
+            next_pc: 0x1004,
+            mode: Mode::User,
+        };
+        RobEntry::new(7, di)
+    }
+
+    #[test]
+    fn done_requires_issue_and_elapsed_latency() {
+        let mut e = entry(Op::Add);
+        assert!(!e.done(100));
+        e.state = EntryState::Issued;
+        e.ready_at = 10;
+        assert!(!e.done(9));
+        assert!(e.done(10));
+    }
+
+    #[test]
+    fn classification_and_ranges() {
+        assert!(entry(Op::Ld).is_load());
+        assert!(entry(Op::Sw).is_store());
+        assert!(!entry(Op::Add).is_load());
+        assert_eq!(entry(Op::Ld).mem_range(), Some((0x2000, 0x2008)));
+        assert_eq!(entry(Op::Sw).mem_range(), Some((0x2000, 0x2004)));
+        assert_eq!(entry(Op::Add).mem_range(), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Processor-core statistics.
+
+use cpe_stats::{Counter, Histogram, Ratio};
+
+/// Counters maintained by the timing core.
+#[derive(Debug, Clone)]
+pub struct CpuStats {
+    /// Total simulated cycles.
+    pub cycles: Counter,
+    /// Cycles whose oldest in-flight instruction was user code.
+    pub user_cycles: Counter,
+    /// Cycles whose oldest in-flight instruction was kernel code.
+    pub kernel_cycles: Counter,
+    /// Instructions committed.
+    pub committed: Counter,
+    /// User-mode instructions committed.
+    pub committed_user: Counter,
+    /// Kernel-mode instructions committed.
+    pub committed_kernel: Counter,
+    /// Loads committed.
+    pub loads: Counter,
+    /// Stores committed.
+    pub stores: Counter,
+
+    // --- Control flow -----------------------------------------------------
+    /// Conditional branches fetched.
+    pub branches: Counter,
+    /// Conditional branches whose direction was mispredicted.
+    pub mispredicts: Counter,
+    /// Indirect jumps whose target was mispredicted (RAS/BTB miss).
+    pub indirect_mispredicts: Counter,
+    /// Correct-direction taken transfers that missed the BTB (fetch
+    /// bubble).
+    pub misfetches: Counter,
+
+    // --- Pipeline friction ----------------------------------------------------
+    /// Loads forwarded from the pre-commit store queue.
+    pub lsq_forwards: Counter,
+    /// Load issue attempts blocked by memory-ordering hazards.
+    pub lsq_order_stalls: Counter,
+    /// Cycles fetch waited on the instruction cache.
+    pub fetch_icache_stall_cycles: Counter,
+    /// Cycles fetch waited on a branch redirect or trap serialisation.
+    pub fetch_redirect_stall_cycles: Counter,
+    /// Dispatch halts because the ROB was full.
+    pub dispatch_rob_full: Counter,
+    /// Dispatch halts because the load or store queue was full.
+    pub dispatch_lsq_full: Counter,
+    /// Cycles commit was blocked by a rejected store (memory back-pressure
+    /// — the signature of an under-ported cache).
+    pub commit_store_stall_cycles: Counter,
+    /// Wrong-path instruction blocks fetched while mispredictions resolved
+    /// (only when `wrong_path_fetch` is enabled).
+    pub wrong_path_blocks: Counter,
+    /// Distribution of ROB occupancy per cycle.
+    pub rob_occupancy: Histogram,
+    /// Instructions committed per cycle.
+    pub commits_per_cycle: Histogram,
+}
+
+impl CpuStats {
+    /// Zeroed statistics for a machine with `rob_entries` window slots and
+    /// `commit_width` maximum commits per cycle.
+    pub fn new(rob_entries: usize, commit_width: usize) -> CpuStats {
+        CpuStats {
+            cycles: Counter::new(),
+            user_cycles: Counter::new(),
+            kernel_cycles: Counter::new(),
+            committed: Counter::new(),
+            committed_user: Counter::new(),
+            committed_kernel: Counter::new(),
+            loads: Counter::new(),
+            stores: Counter::new(),
+            branches: Counter::new(),
+            mispredicts: Counter::new(),
+            indirect_mispredicts: Counter::new(),
+            misfetches: Counter::new(),
+            lsq_forwards: Counter::new(),
+            lsq_order_stalls: Counter::new(),
+            fetch_icache_stall_cycles: Counter::new(),
+            fetch_redirect_stall_cycles: Counter::new(),
+            dispatch_rob_full: Counter::new(),
+            dispatch_lsq_full: Counter::new(),
+            commit_store_stall_cycles: Counter::new(),
+            wrong_path_blocks: Counter::new(),
+            rob_occupancy: Histogram::new(rob_entries),
+            commits_per_cycle: Histogram::new(commit_width),
+        }
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles.get() == 0 {
+            0.0
+        } else {
+            self.committed.as_f64() / self.cycles.as_f64()
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_ratio(&self) -> Ratio {
+        self.mispredicts.ratio(self.branches)
+    }
+
+    /// Fraction of committed instructions that were kernel-mode.
+    pub fn kernel_fraction(&self) -> Ratio {
+        self.committed_kernel.ratio(self.committed)
+    }
+}
+
+impl Default for CpuStats {
+    fn default() -> CpuStats {
+        CpuStats::new(64, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_ratios() {
+        let mut s = CpuStats::default();
+        s.cycles.add(100);
+        s.committed.add(250);
+        s.committed_kernel.add(50);
+        s.branches.add(40);
+        s.mispredicts.add(4);
+        assert_eq!(s.ipc(), 2.5);
+        assert_eq!(s.mispredict_ratio().percent(), 10.0);
+        assert_eq!(s.kernel_fraction().percent(), 20.0);
+    }
+
+    #[test]
+    fn zeroed_stats_are_safe() {
+        let s = CpuStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_ratio().percent(), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Line-oriented tokenizer for the assembler.
+
+use std::fmt;
+
+/// One token of assembly source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier: mnemonic, register name, or label reference.
+    Ident(String),
+    /// A directive, including the leading dot (`.text`, `.word`, ...).
+    Directive(String),
+    /// An integer literal (decimal, `0x` hex, or `0b` binary; optionally
+    /// negated).
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Directive(s) => write!(f, "directive `{s}`"),
+            Token::Int(v) => write!(f, "integer `{v}`"),
+            Token::Float(v) => write!(f, "float `{v}`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Colon => f.write_str("`:`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+        }
+    }
+}
+
+/// A tokenization failure, reported with the offending text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The text that could not be tokenized.
+    pub text: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognised token starting at `{}`", self.text)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenize one source line. Comments (`#` or `//` to end of line) are
+/// stripped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] when a character sequence forms no token.
+pub fn tokenize_line(line: &str) -> Result<Vec<Token>, LexError> {
+    let line = strip_comment(line);
+    let mut tokens = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some(&(start, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Token::Colon);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '.' => {
+                chars.next();
+                let mut name = String::from(".");
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.len() == 1 {
+                    return Err(LexError {
+                        text: line[start..].to_string(),
+                    });
+                }
+                tokens.push(Token::Directive(name));
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let rest = &line[start..];
+                let (token, consumed) = scan_number(rest).ok_or_else(|| LexError {
+                    text: rest.to_string(),
+                })?;
+                for _ in 0..consumed {
+                    chars.next();
+                }
+                tokens.push(token);
+            }
+            _ => {
+                return Err(LexError {
+                    text: line[start..].to_string(),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find('#')
+        .into_iter()
+        .chain(line.find("//"))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+/// Scan a numeric literal at the start of `text`. Returns the token and the
+/// number of characters consumed.
+fn scan_number(text: &str) -> Option<(Token, usize)> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let negative = match bytes.first() {
+        Some(b'-') => {
+            i += 1;
+            true
+        }
+        Some(b'+') => {
+            i += 1;
+            false
+        }
+        _ => false,
+    };
+    let digits_start = i;
+    let radix = if text[i..].starts_with("0x") || text[i..].starts_with("0X") {
+        i += 2;
+        16
+    } else if text[i..].starts_with("0b") || text[i..].starts_with("0B") {
+        i += 2;
+        2
+    } else {
+        10
+    };
+    let body_start = i;
+    let mut saw_dot = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_digit(radix) || c == '_' {
+            i += 1;
+        } else if radix == 10 && c == '.' && !saw_dot {
+            saw_dot = true;
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if i == body_start {
+        return None;
+    }
+    let body: String = text[body_start..i].chars().filter(|&c| c != '_').collect();
+    if saw_dot {
+        let mut value: f64 = body.parse().ok()?;
+        if negative {
+            value = -value;
+        }
+        Some((Token::Float(value), i))
+    } else {
+        let magnitude = u64::from_str_radix(&body, radix).ok()?;
+        let value = if negative {
+            i64::try_from(magnitude).ok()?.checked_neg()?
+        } else {
+            // Allow full u64 hex constants to wrap into i64 bit patterns.
+            magnitude as i64
+        };
+        let _ = digits_start;
+        Some((Token::Int(value), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_typical_instruction_line() {
+        let tokens = tokenize_line("  ld a0, 16(sp)  # load slot").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("ld".into()),
+                Token::Ident("a0".into()),
+                Token::Comma,
+                Token::Int(16),
+                Token::LParen,
+                Token::Ident("sp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_labels_and_directives() {
+        assert_eq!(
+            tokenize_line("main:").unwrap(),
+            vec![Token::Ident("main".into()), Token::Colon]
+        );
+        assert_eq!(
+            tokenize_line(".word 1, -2, 0x10").unwrap(),
+            vec![
+                Token::Directive(".word".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(-2),
+                Token::Comma,
+                Token::Int(16),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_radixes_and_underscores() {
+        assert_eq!(tokenize_line("0xff").unwrap(), vec![Token::Int(255)]);
+        assert_eq!(tokenize_line("0b1010").unwrap(), vec![Token::Int(10)]);
+        assert_eq!(
+            tokenize_line("1_000_000").unwrap(),
+            vec![Token::Int(1_000_000)]
+        );
+        assert_eq!(tokenize_line("-42").unwrap(), vec![Token::Int(-42)]);
+        assert_eq!(tokenize_line("+7").unwrap(), vec![Token::Int(7)]);
+    }
+
+    #[test]
+    fn floats_are_distinguished_from_ints() {
+        assert_eq!(tokenize_line("3.5").unwrap(), vec![Token::Float(3.5)]);
+        assert_eq!(tokenize_line("-0.25").unwrap(), vec![Token::Float(-0.25)]);
+    }
+
+    #[test]
+    fn comments_are_stripped_in_both_styles() {
+        assert_eq!(tokenize_line("# whole line").unwrap(), vec![]);
+        assert_eq!(
+            tokenize_line("nop // tail").unwrap(),
+            vec![Token::Ident("nop".into())]
+        );
+        assert_eq!(tokenize_line("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize_line("@@@").is_err());
+        assert!(tokenize_line("ld a0, 16(sp) @").is_err());
+        assert!(tokenize_line(". lonely-dot").is_err());
+        assert!(tokenize_line("-").is_err());
+    }
+
+    #[test]
+    fn full_u64_hex_wraps_to_bit_pattern() {
+        assert_eq!(
+            tokenize_line("0xffffffffffffffff").unwrap(),
+            vec![Token::Int(-1)]
+        );
+    }
+}

@@ -1,0 +1,585 @@
+//! The two-pass assembler.
+//!
+//! Source syntax is deliberately close to RISC-V assembler conventions:
+//!
+//! ```text
+//! .data
+//! table:  .quad 1, 2, 3, 4
+//! buf:    .space 256
+//!
+//! .text
+//! main:
+//!     la   t0, table
+//!     ld   a0, 0(t0)
+//!     addi a0, a0, 1
+//!     sd   a0, 8(t0)
+//!     halt
+//! ```
+//!
+//! Pass 1 sizes every statement and collects label addresses; pass 2 expands
+//! mnemonics (including pseudo-instructions such as `li`, `la`, `mv`, `j`,
+//! `call`, `ret`, `beqz`) into [`Inst`]s with resolved immediates.
+
+mod lexer;
+mod parser;
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::Op;
+use crate::program::{Program, DATA_BASE, INST_BYTES, TEXT_BASE};
+use crate::reg::Reg;
+
+pub use lexer::{LexError, Token};
+pub use parser::{Directive, Operand, Stmt};
+
+pub(crate) type Result<T, E = AsmError> = std::result::Result<T, E>;
+
+/// An assembly failure, with the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl Error for AsmError {}
+
+/// The kinds of assembly failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// The tokenizer rejected the line.
+    Lex(LexError),
+    /// A token appeared where it makes no sense.
+    UnexpectedToken(String),
+    /// An unknown directive.
+    UnknownDirective(String),
+    /// A directive with malformed arguments.
+    BadDirective(String),
+    /// A mnemonic that names no instruction or pseudo-instruction.
+    UnknownMnemonic(String),
+    /// A register name that names no register.
+    UnknownRegister(String),
+    /// Operands do not match the mnemonic's format.
+    WrongOperands {
+        /// The mnemonic.
+        mnemonic: String,
+        /// Human-readable description of the expected operands.
+        expected: &'static str,
+    },
+    /// A referenced label was never defined.
+    UndefinedSymbol(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// An immediate does not fit its encoding field.
+    ImmOutOfRange(i64),
+    /// A data directive appeared in the text segment.
+    DataInText,
+    /// An instruction appeared in the data segment.
+    InstInData,
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::Lex(e) => e.fmt(f),
+            AsmErrorKind::UnexpectedToken(t) => write!(f, "unexpected {t}"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::BadDirective(d) => write!(f, "malformed arguments for `{d}`"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownRegister(r) => write!(f, "unknown register `{r}`"),
+            AsmErrorKind::WrongOperands { mnemonic, expected } => {
+                write!(f, "`{mnemonic}` expects {expected}")
+            }
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::DuplicateLabel(s) => write!(f, "duplicate label `{s}`"),
+            AsmErrorKind::ImmOutOfRange(v) => {
+                write!(f, "immediate {v} does not fit a signed 32-bit field")
+            }
+            AsmErrorKind::DataInText => f.write_str("data directive in the text segment"),
+            AsmErrorKind::InstInData => f.write_str("instruction in the data segment"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+/// Number of [`Inst`]s a mnemonic expands to. Pseudo-instruction sizes must
+/// be known before symbol resolution, so they may not depend on operand
+/// values.
+fn expansion_size(mnemonic: &str) -> usize {
+    match mnemonic {
+        "la" => 2,
+        _ => 1,
+    }
+}
+
+struct PendingInst {
+    line: usize,
+    addr: u64,
+    mnemonic: String,
+    operands: Vec<Operand>,
+}
+
+/// Assemble source text into a [`Program`].
+///
+/// The entry point is the `main` label when defined, otherwise the first
+/// text address.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the source line and failure kind for
+/// any lexical, syntactic, or semantic problem.
+///
+/// ```
+/// use cpe_isa::asm::assemble;
+///
+/// # fn main() -> Result<(), cpe_isa::asm::AsmError> {
+/// let p = assemble(".text\nmain: li a0, 1\n halt\n")?;
+/// assert_eq!(p.entry, p.symbol("main").unwrap());
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program> {
+    let mut segment = Segment::Text;
+    let mut symbols: BTreeMap<String, u64> = BTreeMap::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut pending: Vec<PendingInst> = Vec::new();
+    let mut text_len: usize = 0;
+
+    // Pass 1: size statements, build data image, collect symbols.
+    for (line_idx, line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let err = |kind| AsmError {
+            line: line_no,
+            kind,
+        };
+        let tokens = lexer::tokenize_line(line).map_err(|e| err(AsmErrorKind::Lex(e)))?;
+        let stmts = parser::parse_line(&tokens).map_err(err)?;
+        for stmt in stmts {
+            match stmt {
+                Stmt::Label(name) => {
+                    let addr = match segment {
+                        Segment::Text => TEXT_BASE + text_len as u64 * INST_BYTES,
+                        Segment::Data => DATA_BASE + data.len() as u64,
+                    };
+                    if symbols.insert(name.clone(), addr).is_some() {
+                        return Err(err(AsmErrorKind::DuplicateLabel(name)));
+                    }
+                }
+                Stmt::Directive(Directive::Text) => segment = Segment::Text,
+                Stmt::Directive(Directive::Data) => segment = Segment::Data,
+                Stmt::Directive(directive) => {
+                    if segment != Segment::Data {
+                        return Err(err(AsmErrorKind::DataInText));
+                    }
+                    emit_data(&mut data, &directive);
+                }
+                Stmt::Inst { mnemonic, operands } => {
+                    if segment != Segment::Text {
+                        return Err(err(AsmErrorKind::InstInData));
+                    }
+                    let addr = TEXT_BASE + text_len as u64 * INST_BYTES;
+                    text_len += expansion_size(&mnemonic);
+                    pending.push(PendingInst {
+                        line: line_no,
+                        addr,
+                        mnemonic,
+                        operands,
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass 2: expand instructions with resolved symbols.
+    let mut text = Vec::with_capacity(text_len);
+    for p in &pending {
+        let expanded = expand(p, &symbols).map_err(|kind| AsmError { line: p.line, kind })?;
+        debug_assert_eq!(expanded.len(), expansion_size(&p.mnemonic));
+        text.extend(expanded);
+    }
+
+    let entry = symbols.get("main").copied().unwrap_or(TEXT_BASE);
+    Ok(Program {
+        text,
+        data,
+        symbols,
+        entry,
+    })
+}
+
+fn emit_data(data: &mut Vec<u8>, directive: &Directive) {
+    match directive {
+        Directive::Byte(vs) => data.extend(vs.iter().map(|v| *v as u8)),
+        Directive::Half(vs) => {
+            for v in vs {
+                data.extend_from_slice(&(*v as u16).to_le_bytes());
+            }
+        }
+        Directive::Word(vs) => {
+            for v in vs {
+                data.extend_from_slice(&(*v as u32).to_le_bytes());
+            }
+        }
+        Directive::Quad(vs) => {
+            for v in vs {
+                data.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Directive::Double(vs) => {
+            for v in vs {
+                data.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Directive::Space(n) => data.resize(data.len() + *n as usize, 0),
+        Directive::Align(n) => {
+            let align = 1usize << *n;
+            let padded = data.len().div_ceil(align) * align;
+            data.resize(padded, 0);
+        }
+        Directive::Text | Directive::Data => unreachable!("segment switches handled by caller"),
+    }
+}
+
+fn check_imm(v: i64) -> Result<i64, AsmErrorKind> {
+    i32::try_from(v)
+        .map(i64::from)
+        .map_err(|_| AsmErrorKind::ImmOutOfRange(v))
+}
+
+fn expand(p: &PendingInst, symbols: &BTreeMap<String, u64>) -> Result<Vec<Inst>, AsmErrorKind> {
+    use Operand as O;
+
+    let wrong = |expected: &'static str| AsmErrorKind::WrongOperands {
+        mnemonic: p.mnemonic.clone(),
+        expected,
+    };
+    let resolve = |name: &str| -> Result<u64, AsmErrorKind> {
+        symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmErrorKind::UndefinedSymbol(name.to_string()))
+    };
+    // Branch/jump targets accept either a label or a literal byte offset.
+    let target = |operand: &Operand| -> Result<i64, AsmErrorKind> {
+        match operand {
+            O::Sym(name) => check_imm(resolve(name)? as i64 - p.addr as i64),
+            O::Imm(offset) => check_imm(*offset),
+            _ => Err(wrong("a label or byte offset target")),
+        }
+    };
+
+    let ops = p.operands.as_slice();
+    let m = p.mnemonic.as_str();
+
+    if let Some(op) = Op::from_mnemonic(m) {
+        let inst = match op.class() {
+            crate::op::OpClass::Load => match ops {
+                [O::Reg(rd), O::Mem { offset, base }] => {
+                    Inst::load(op, *rd, *base, check_imm(*offset)?)
+                }
+                _ => return Err(wrong("`rd, offset(base)`")),
+            },
+            crate::op::OpClass::Store => match ops {
+                [O::Reg(rs2), O::Mem { offset, base }] => {
+                    Inst::store(op, *rs2, *base, check_imm(*offset)?)
+                }
+                _ => return Err(wrong("`rs, offset(base)`")),
+            },
+            crate::op::OpClass::Branch => match ops {
+                [O::Reg(rs1), O::Reg(rs2), t] => Inst::branch(op, *rs1, *rs2, target(t)?),
+                _ => return Err(wrong("`rs1, rs2, target`")),
+            },
+            crate::op::OpClass::Jump => match (op, ops) {
+                (Op::Jal, [O::Reg(rd), t]) => Inst::jal(*rd, target(t)?),
+                (Op::Jal, [t]) => Inst::jal(Reg::RA, target(t)?),
+                (Op::Jalr, [O::Reg(rd), O::Mem { offset, base }]) => {
+                    Inst::jalr(*rd, *base, check_imm(*offset)?)
+                }
+                (Op::Jalr, [O::Reg(rd), O::Reg(base)]) => Inst::jalr(*rd, *base, 0),
+                _ => return Err(wrong("`rd, target` / `rd, offset(base)`")),
+            },
+            crate::op::OpClass::System => match ops {
+                [] => Inst::system(op),
+                _ => return Err(wrong("no operands")),
+            },
+            _ => match (op, ops) {
+                (Op::Lui, [O::Reg(rd), O::Imm(imm)]) => {
+                    Inst::rri(op, *rd, Reg::ZERO, check_imm(*imm)?)
+                }
+                (Op::Fsqrt | Op::Fmv | Op::Fcvt | Op::Fcvtz, [O::Reg(rd), O::Reg(rs1)]) => Inst {
+                    op,
+                    rd: *rd,
+                    rs1: *rs1,
+                    rs2: Reg::ZERO,
+                    imm: 0,
+                },
+                (_, [O::Reg(rd), O::Reg(rs1), O::Reg(rs2)]) => Inst::rrr(op, *rd, *rs1, *rs2),
+                (
+                    Op::Addi
+                    | Op::Andi
+                    | Op::Ori
+                    | Op::Xori
+                    | Op::Slli
+                    | Op::Srli
+                    | Op::Srai
+                    | Op::Slti,
+                    [O::Reg(rd), O::Reg(rs1), O::Imm(imm)],
+                ) => Inst::rri(op, *rd, *rs1, check_imm(*imm)?),
+                _ => return Err(wrong("register/immediate operands matching the format")),
+            },
+        };
+        return Ok(vec![inst]);
+    }
+
+    // Pseudo-instructions.
+    let inst = match (m, ops) {
+        ("nop", []) => Inst::nop(),
+        ("li", [O::Reg(rd), O::Imm(imm)]) => Inst::rri(Op::Addi, *rd, Reg::ZERO, check_imm(*imm)?),
+        ("la", [O::Reg(rd), O::Sym(name)]) => {
+            let addr = resolve(name)?;
+            let hi = (addr >> 12) as i64;
+            let lo = (addr & 0xfff) as i64;
+            return Ok(vec![
+                Inst::rri(Op::Lui, *rd, Reg::ZERO, check_imm(hi)?),
+                Inst::rri(Op::Ori, *rd, *rd, lo),
+            ]);
+        }
+        ("mv", [O::Reg(rd), O::Reg(rs)]) => Inst::rri(Op::Addi, *rd, *rs, 0),
+        ("not", [O::Reg(rd), O::Reg(rs)]) => Inst::rri(Op::Xori, *rd, *rs, -1),
+        ("neg", [O::Reg(rd), O::Reg(rs)]) => Inst::rrr(Op::Sub, *rd, Reg::ZERO, *rs),
+        ("b" | "j", [t]) => match m {
+            "b" => Inst::branch(Op::Beq, Reg::ZERO, Reg::ZERO, target(t)?),
+            _ => Inst::jal(Reg::ZERO, target(t)?),
+        },
+        ("beqz", [O::Reg(rs), t]) => Inst::branch(Op::Beq, *rs, Reg::ZERO, target(t)?),
+        ("bnez", [O::Reg(rs), t]) => Inst::branch(Op::Bne, *rs, Reg::ZERO, target(t)?),
+        ("bltz", [O::Reg(rs), t]) => Inst::branch(Op::Blt, *rs, Reg::ZERO, target(t)?),
+        ("bgez", [O::Reg(rs), t]) => Inst::branch(Op::Bge, *rs, Reg::ZERO, target(t)?),
+        ("bgtz", [O::Reg(rs), t]) => Inst::branch(Op::Blt, Reg::ZERO, *rs, target(t)?),
+        ("blez", [O::Reg(rs), t]) => Inst::branch(Op::Bge, Reg::ZERO, *rs, target(t)?),
+        ("call", [t]) => Inst::jal(Reg::RA, target(t)?),
+        ("ret", []) => Inst::jalr(Reg::ZERO, Reg::RA, 0),
+        ("jr", [O::Reg(rs)]) => Inst::jalr(Reg::ZERO, *rs, 0),
+        _ if Op::from_mnemonic(m).is_none()
+            && !matches!(
+                m,
+                "nop"
+                    | "li"
+                    | "la"
+                    | "mv"
+                    | "not"
+                    | "neg"
+                    | "b"
+                    | "j"
+                    | "beqz"
+                    | "bnez"
+                    | "bltz"
+                    | "bgez"
+                    | "bgtz"
+                    | "blez"
+                    | "call"
+                    | "ret"
+                    | "jr"
+            ) =>
+        {
+            return Err(AsmErrorKind::UnknownMnemonic(m.to_string()))
+        }
+        _ => return Err(wrong("operands matching the pseudo-instruction format")),
+    };
+    Ok(vec![inst])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn assembles_a_loop_with_backward_branch() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                li   a0, 4
+            loop:
+                addi a0, a0, -1
+                bnez a0, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 4);
+        let branch = &p.text[2];
+        assert_eq!(branch.op, Op::Bne);
+        // `loop` is one instruction behind the branch.
+        assert_eq!(branch.imm, -(INST_BYTES as i64));
+    }
+
+    #[test]
+    fn la_expands_to_lui_ori_resolving_data_labels() {
+        let p = assemble(
+            r#"
+            .data
+            pad:   .space 24
+            table: .quad 7
+            .text
+            main:
+                la  t0, table
+                ld  a0, 0(t0)
+                halt
+            "#,
+        )
+        .unwrap();
+        let addr = p.symbol("table").unwrap();
+        assert_eq!(addr, DATA_BASE + 24);
+        let hi = &p.text[0];
+        let lo = &p.text[1];
+        assert_eq!(hi.op, Op::Lui);
+        assert_eq!(lo.op, Op::Ori);
+        assert_eq!(((hi.imm as u64) << 12) | lo.imm as u64, addr);
+    }
+
+    #[test]
+    fn data_directives_build_the_image_little_endian() {
+        let p = assemble(
+            r#"
+            .data
+            a: .byte 1, 2
+            b: .half 0x0304
+            c: .word 0x05060708
+            d: .quad -1
+            e: .double 1.0
+            .text
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(&p.data[0..2], &[1, 2]);
+        assert_eq!(&p.data[2..4], &[0x04, 0x03]);
+        assert_eq!(&p.data[4..8], &[0x08, 0x07, 0x06, 0x05]);
+        assert_eq!(&p.data[8..16], &[0xff; 8]);
+        assert_eq!(&p.data[16..24], &1.0f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn align_pads_to_power_of_two() {
+        let p = assemble(".data\n.byte 1\n.align 3\nx: .quad 9\n.text\nhalt\n").unwrap();
+        assert_eq!(p.symbol("x").unwrap(), DATA_BASE + 8);
+        assert_eq!(p.data.len(), 16);
+    }
+
+    #[test]
+    fn entry_defaults_and_main_overrides() {
+        let p = assemble("nop\nhalt\n").unwrap();
+        assert_eq!(p.entry, TEXT_BASE);
+        let p = assemble("nop\nmain: halt\n").unwrap();
+        assert_eq!(p.entry, TEXT_BASE + INST_BYTES);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble("main: j end\nnop\nend: halt\n").unwrap();
+        assert_eq!(p.text[0].imm, 2 * INST_BYTES as i64);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus a0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn undefined_and_duplicate_symbols_are_errors() {
+        let err = assemble("j nowhere\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedSymbol(_)));
+        let err = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn segment_confusion_is_an_error() {
+        let err = assemble(".text\n.word 1\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::DataInText);
+        let err = assemble(".data\nnop\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::InstInData);
+    }
+
+    #[test]
+    fn wrong_operand_shapes_are_errors() {
+        for src in [
+            "add a0, a1\n",
+            "ld a0, a1, a2\n",
+            "beq a0, loop\n",
+            "halt 3\n",
+            "li a0, a1\n",
+            "la a0, 5\n",
+        ] {
+            let err = assemble(src).unwrap_err();
+            assert!(
+                matches!(err.kind, AsmErrorKind::WrongOperands { .. }),
+                "{src:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_immediates_are_rejected() {
+        let err = assemble("li a0, 0x100000000\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::ImmOutOfRange(_)));
+    }
+
+    #[test]
+    fn jal_and_jalr_forms() {
+        let p = assemble("main: call f\nj main\njalr ra, 8(t0)\njalr zero, (ra)\nf: ret\nhalt\n")
+            .unwrap();
+        assert_eq!(p.text[0].op, Op::Jal);
+        assert_eq!(p.text[0].rd, Reg::RA);
+        assert_eq!(p.text[1].rd, Reg::ZERO);
+        assert_eq!(p.text[2].imm, 8);
+        assert_eq!(p.text[4].op, Op::Jalr);
+    }
+
+    #[test]
+    fn pseudo_expansions_are_canonical() {
+        let p =
+            assemble("mv a0, a1\nnot a2, a3\nneg a4, a5\nbeqz a0, 8\nbgtz a1, 8\nhalt\n").unwrap();
+        assert_eq!(p.text[0], Inst::rri(Op::Addi, Reg::a(0), Reg::a(1), 0));
+        assert_eq!(p.text[1], Inst::rri(Op::Xori, Reg::a(2), Reg::a(3), -1));
+        assert_eq!(
+            p.text[2],
+            Inst::rrr(Op::Sub, Reg::a(4), Reg::ZERO, Reg::a(5))
+        );
+        assert_eq!(p.text[3], Inst::branch(Op::Beq, Reg::a(0), Reg::ZERO, 8));
+        assert_eq!(p.text[4], Inst::branch(Op::Blt, Reg::ZERO, Reg::a(1), 8));
+    }
+
+    #[test]
+    fn fp_instructions_assemble() {
+        let p = assemble(
+            ".data\nv: .double 2.0\n.text\nmain: la t0, v\nfld f0, 0(t0)\nfsqrt f1, f0\nfadd f2, f1, f0\nfsd f2, 8(t0)\nfcvtz a0, f2\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(p.text[2].op, Op::Fld);
+        assert_eq!(p.text[3].op, Op::Fsqrt);
+        assert_eq!(p.text[4].op, Op::Fadd);
+        assert_eq!(p.text[5].op, Op::Fsd);
+        assert_eq!(p.text[6].op, Op::Fcvtz);
+    }
+}

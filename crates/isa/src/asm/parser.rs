@@ -1,0 +1,306 @@
+//! Parsing token lines into assembler statements.
+
+use crate::reg::Reg;
+
+use super::lexer::Token;
+use super::{AsmErrorKind, Result};
+
+/// One parsed statement. A source line may yield several (labels followed by
+/// an instruction, for example).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name:` — a label definition.
+    Label(String),
+    /// A segment or data directive.
+    Directive(Directive),
+    /// An instruction or pseudo-instruction with its operands.
+    Inst {
+        /// Mnemonic as written.
+        mnemonic: String,
+        /// Operands, in source order.
+        operands: Vec<Operand>,
+    },
+}
+
+/// A data or segment directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// `.text` — switch to the text segment.
+    Text,
+    /// `.data` — switch to the data segment.
+    Data,
+    /// `.byte v, ...` — emit 1-byte values.
+    Byte(Vec<i64>),
+    /// `.half v, ...` — emit 2-byte values.
+    Half(Vec<i64>),
+    /// `.word v, ...` — emit 4-byte values.
+    Word(Vec<i64>),
+    /// `.quad v, ...` — emit 8-byte values.
+    Quad(Vec<i64>),
+    /// `.double v, ...` — emit IEEE-754 doubles.
+    Double(Vec<f64>),
+    /// `.space n` — emit `n` zero bytes.
+    Space(u64),
+    /// `.align n` — pad the data segment to a 2^n boundary.
+    Align(u32),
+}
+
+/// One instruction operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An integer immediate.
+    Imm(i64),
+    /// A memory operand `offset(base)`.
+    Mem {
+        /// Byte displacement.
+        offset: i64,
+        /// Base register.
+        base: Reg,
+    },
+    /// A symbol reference (label).
+    Sym(String),
+}
+
+/// Parse the tokens of one line into statements.
+pub fn parse_line(tokens: &[Token]) -> Result<Vec<Stmt>, AsmErrorKind> {
+    let mut stmts = Vec::new();
+    let mut rest = tokens;
+
+    // Leading `name:` labels, possibly several.
+    while let [Token::Ident(name), Token::Colon, tail @ ..] = rest {
+        stmts.push(Stmt::Label(name.clone()));
+        rest = tail;
+    }
+
+    match rest {
+        [] => {}
+        [Token::Directive(name), args @ ..] => {
+            stmts.push(Stmt::Directive(parse_directive(name, args)?));
+        }
+        [Token::Ident(mnemonic), args @ ..] => {
+            stmts.push(Stmt::Inst {
+                mnemonic: mnemonic.clone(),
+                operands: parse_operands(args)?,
+            });
+        }
+        [token, ..] => return Err(AsmErrorKind::UnexpectedToken(token.to_string())),
+    }
+    Ok(stmts)
+}
+
+fn parse_directive(name: &str, args: &[Token]) -> Result<Directive, AsmErrorKind> {
+    let int_list = |args: &[Token]| -> Result<Vec<i64>, AsmErrorKind> {
+        comma_separated(args)?
+            .into_iter()
+            .map(|t| match t {
+                Token::Int(v) => Ok(*v),
+                other => Err(AsmErrorKind::UnexpectedToken(other.to_string())),
+            })
+            .collect()
+    };
+    match name {
+        ".text" if args.is_empty() => Ok(Directive::Text),
+        ".data" if args.is_empty() => Ok(Directive::Data),
+        ".byte" => Ok(Directive::Byte(int_list(args)?)),
+        ".half" => Ok(Directive::Half(int_list(args)?)),
+        ".word" => Ok(Directive::Word(int_list(args)?)),
+        ".quad" => Ok(Directive::Quad(int_list(args)?)),
+        ".double" => {
+            let values = comma_separated(args)?
+                .into_iter()
+                .map(|t| match t {
+                    Token::Float(v) => Ok(*v),
+                    Token::Int(v) => Ok(*v as f64),
+                    other => Err(AsmErrorKind::UnexpectedToken(other.to_string())),
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok(Directive::Double(values))
+        }
+        ".space" => match args {
+            [Token::Int(n)] if *n >= 0 => Ok(Directive::Space(*n as u64)),
+            _ => Err(AsmErrorKind::BadDirective(name.to_string())),
+        },
+        ".align" => match args {
+            [Token::Int(n)] if (0..=16).contains(n) => Ok(Directive::Align(*n as u32)),
+            _ => Err(AsmErrorKind::BadDirective(name.to_string())),
+        },
+        // Accepted and ignored for familiarity with common assemblers.
+        ".global" | ".globl" => match args {
+            [Token::Ident(_)] => Ok(Directive::Text),
+            _ => Err(AsmErrorKind::BadDirective(name.to_string())),
+        },
+        _ => Err(AsmErrorKind::UnknownDirective(name.to_string())),
+    }
+}
+
+/// Split `args` on commas, requiring exactly one token between commas
+/// except for memory operands which are reassembled by the caller.
+fn comma_separated(args: &[Token]) -> Result<Vec<&Token>, AsmErrorKind> {
+    let mut out = Vec::new();
+    let mut expect_value = true;
+    for token in args {
+        match (expect_value, token) {
+            (true, Token::Comma) => return Err(AsmErrorKind::UnexpectedToken(token.to_string())),
+            (true, value) => {
+                out.push(value);
+                expect_value = false;
+            }
+            (false, Token::Comma) => expect_value = true,
+            (false, other) => return Err(AsmErrorKind::UnexpectedToken(other.to_string())),
+        }
+    }
+    if expect_value && !out.is_empty() {
+        return Err(AsmErrorKind::UnexpectedToken("trailing `,`".into()));
+    }
+    Ok(out)
+}
+
+fn parse_operands(args: &[Token]) -> Result<Vec<Operand>, AsmErrorKind> {
+    let mut operands = Vec::new();
+    let mut rest = args;
+    loop {
+        match rest {
+            [] => break,
+            // `offset(base)`
+            [Token::Int(offset), Token::LParen, Token::Ident(base), Token::RParen, tail @ ..] => {
+                let base =
+                    Reg::parse(base).ok_or_else(|| AsmErrorKind::UnknownRegister(base.clone()))?;
+                operands.push(Operand::Mem {
+                    offset: *offset,
+                    base,
+                });
+                rest = tail;
+            }
+            // `(base)` with implicit zero offset
+            [Token::LParen, Token::Ident(base), Token::RParen, tail @ ..] => {
+                let base =
+                    Reg::parse(base).ok_or_else(|| AsmErrorKind::UnknownRegister(base.clone()))?;
+                operands.push(Operand::Mem { offset: 0, base });
+                rest = tail;
+            }
+            [Token::Ident(name), tail @ ..] => {
+                operands.push(match Reg::parse(name) {
+                    Some(reg) => Operand::Reg(reg),
+                    None => Operand::Sym(name.clone()),
+                });
+                rest = tail;
+            }
+            [Token::Int(value), tail @ ..] => {
+                operands.push(Operand::Imm(*value));
+                rest = tail;
+            }
+            [token, ..] => return Err(AsmErrorKind::UnexpectedToken(token.to_string())),
+        }
+        match rest {
+            [] => break,
+            [Token::Comma, tail @ ..] => {
+                if tail.is_empty() {
+                    return Err(AsmErrorKind::UnexpectedToken("trailing `,`".into()));
+                }
+                rest = tail;
+            }
+            [token, ..] => return Err(AsmErrorKind::UnexpectedToken(token.to_string())),
+        }
+    }
+    Ok(operands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::lexer::tokenize_line;
+
+    fn parse(src: &str) -> Vec<Stmt> {
+        parse_line(&tokenize_line(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn labels_then_instruction_on_one_line() {
+        let stmts = parse("loop: inner: add a0, a0, a1");
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[0], Stmt::Label("loop".into()));
+        assert_eq!(stmts[1], Stmt::Label("inner".into()));
+        assert!(matches!(&stmts[2], Stmt::Inst { mnemonic, .. } if mnemonic == "add"));
+    }
+
+    #[test]
+    fn memory_operands_parse_with_and_without_offset() {
+        let stmts = parse("ld a0, 16(sp)");
+        let Stmt::Inst { operands, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            operands[1],
+            Operand::Mem {
+                offset: 16,
+                base: Reg::SP
+            }
+        );
+
+        let stmts = parse("ld a0, (sp)");
+        let Stmt::Inst { operands, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(
+            operands[1],
+            Operand::Mem {
+                offset: 0,
+                base: Reg::SP
+            }
+        );
+    }
+
+    #[test]
+    fn symbols_versus_registers() {
+        let stmts = parse("bne a0, zero, loop");
+        let Stmt::Inst { operands, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(operands[0], Operand::Reg(Reg::a(0)));
+        assert_eq!(operands[1], Operand::Reg(Reg::ZERO));
+        assert_eq!(operands[2], Operand::Sym("loop".into()));
+    }
+
+    #[test]
+    fn directives_parse() {
+        assert_eq!(parse(".text"), vec![Stmt::Directive(Directive::Text)]);
+        assert_eq!(
+            parse(".word 1, 2, 3"),
+            vec![Stmt::Directive(Directive::Word(vec![1, 2, 3]))]
+        );
+        assert_eq!(
+            parse(".double 1.5, -2"),
+            vec![Stmt::Directive(Directive::Double(vec![1.5, -2.0]))]
+        );
+        assert_eq!(
+            parse(".space 64"),
+            vec![Stmt::Directive(Directive::Space(64))]
+        );
+        assert_eq!(
+            parse(".align 3"),
+            vec![Stmt::Directive(Directive::Align(3))]
+        );
+    }
+
+    #[test]
+    fn bad_syntax_is_rejected() {
+        let t = tokenize_line("add a0,, a1").unwrap();
+        assert!(parse_line(&t).is_err());
+        let t = tokenize_line("add a0, a1,").unwrap();
+        assert!(parse_line(&t).is_err());
+        let t = tokenize_line(".bogus 1").unwrap();
+        assert!(parse_line(&t).is_err());
+        let t = tokenize_line(".space -1").unwrap();
+        assert!(parse_line(&t).is_err());
+        let t = tokenize_line("ld a0, 8(notareg)").unwrap();
+        assert!(parse_line(&t).is_err());
+    }
+
+    #[test]
+    fn empty_line_yields_nothing() {
+        assert!(parse("").is_empty());
+        assert_eq!(parse("label_only:"), vec![Stmt::Label("label_only".into())]);
+    }
+}

@@ -1,0 +1,641 @@
+//! The functional emulator: architectural execution of `cpe-isa` programs.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{DynInst, Mode, Op, Program, Reg, DATA_BASE, INST_BYTES, STACK_TOP};
+
+const PAGE_BYTES: u64 = 4096;
+
+/// Byte-addressable sparse memory backed by 4 KiB pages.
+///
+/// ```
+/// use cpe_isa::SparseMem;
+///
+/// let mut mem = SparseMem::new();
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x2000), 0, "untouched memory reads as zero");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl SparseMem {
+    /// Empty memory; every byte reads as zero until written.
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_BYTES)) {
+            Some(page) => page[(addr % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr / PAGE_BYTES)
+            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice());
+        page[(addr % PAGE_BYTES) as usize] = value;
+    }
+
+    /// Read `N` little-endian bytes starting at `addr`.
+    pub fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64);
+        }
+        out
+    }
+
+    /// Write bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &byte) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, byte);
+        }
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes::<8>(addr))
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Number of resident pages (for footprint checks in tests).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// A functional-execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The program counter left the text segment.
+    BadPc(u64),
+    /// The instruction budget was exhausted before `halt`.
+    Runaway(u64),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::BadPc(pc) => write!(f, "program counter {pc:#x} is outside the text segment"),
+            EmuError::Runaway(n) => write!(f, "no halt after {n} instructions"),
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+/// Syscall service numbers understood by the emulator (placed in `a7`).
+pub mod syscalls {
+    /// Stop the program (same effect as `halt`).
+    pub const EXIT: u64 = 0;
+    /// Write/print — architecturally a no-op here.
+    pub const WRITE: u64 = 1;
+    /// Grow the heap by `a0` bytes; the old break is returned in `a0`.
+    pub const BRK: u64 = 2;
+    /// Returns a fixed process id in `a0`.
+    pub const GETPID: u64 = 3;
+    /// Returns the executed-instruction count in `a0`.
+    pub const TIME: u64 = 4;
+}
+
+/// Architectural interpreter producing the committed path.
+///
+/// Iterate it to obtain [`DynInst`]s. The iterator ends after the `halt`
+/// instruction (inclusive) or panics on a wild program counter — use
+/// [`Emulator::step`] for error-returning execution.
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    program: Program,
+    regs: [u64; Reg::COUNT],
+    mem: SparseMem,
+    pc: u64,
+    halted: bool,
+    executed: u64,
+    brk: u64,
+}
+
+impl Emulator {
+    /// Load a program: data at [`DATA_BASE`], stack pointer at
+    /// [`STACK_TOP`], program counter at the entry label.
+    pub fn new(program: Program) -> Emulator {
+        let mut mem = SparseMem::new();
+        mem.write_bytes(DATA_BASE, &program.data);
+        let brk = (DATA_BASE + program.data.len() as u64).next_multiple_of(PAGE_BYTES);
+        let mut regs = [0u64; Reg::COUNT];
+        regs[Reg::SP.index()] = STACK_TOP;
+        let pc = program.entry;
+        Emulator {
+            program,
+            regs,
+            mem,
+            pc,
+            halted: false,
+            executed: 0,
+            brk,
+        }
+    }
+
+    /// Read a register (x0 reads as zero).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Write a register (writes to x0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// A float register as `f64`.
+    pub fn freg(&self, r: Reg) -> f64 {
+        f64::from_bits(self.reg(r))
+    }
+
+    /// The architectural memory (for inspecting program results).
+    pub fn mem(&self) -> &SparseMem {
+        &self.mem
+    }
+
+    /// Mutable access to architectural memory (for seeding inputs).
+    pub fn mem_mut(&mut self) -> &mut SparseMem {
+        &mut self.mem
+    }
+
+    /// `true` once `halt` (or `syscall` exit) has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Execute one instruction.
+    ///
+    /// Returns `Ok(None)` once halted.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::BadPc`] when the program counter leaves the text
+    /// segment.
+    pub fn step(&mut self) -> Result<Option<DynInst>, EmuError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let inst = *self.program.fetch(pc).ok_or(EmuError::BadPc(pc))?;
+        let mut next_pc = pc.wrapping_add(INST_BYTES);
+        let mut mem_addr = None;
+        let mut taken = false;
+
+        let rs1 = self.reg(inst.rs1);
+        let rs2 = self.reg(inst.rs2);
+        let f1 = f64::from_bits(rs1);
+        let f2 = f64::from_bits(rs2);
+        let imm = inst.imm;
+
+        match inst.op {
+            Op::Add => self.set_reg(inst.rd, rs1.wrapping_add(rs2)),
+            Op::Sub => self.set_reg(inst.rd, rs1.wrapping_sub(rs2)),
+            Op::And => self.set_reg(inst.rd, rs1 & rs2),
+            Op::Or => self.set_reg(inst.rd, rs1 | rs2),
+            Op::Xor => self.set_reg(inst.rd, rs1 ^ rs2),
+            Op::Sll => self.set_reg(inst.rd, rs1.wrapping_shl(rs2 as u32 & 63)),
+            Op::Srl => self.set_reg(inst.rd, rs1.wrapping_shr(rs2 as u32 & 63)),
+            Op::Sra => self.set_reg(inst.rd, ((rs1 as i64).wrapping_shr(rs2 as u32 & 63)) as u64),
+            Op::Slt => self.set_reg(inst.rd, u64::from((rs1 as i64) < (rs2 as i64))),
+            Op::Sltu => self.set_reg(inst.rd, u64::from(rs1 < rs2)),
+            Op::Mul => self.set_reg(inst.rd, rs1.wrapping_mul(rs2)),
+            Op::Div => {
+                let value = if rs2 == 0 {
+                    -1i64 as u64
+                } else {
+                    (rs1 as i64).wrapping_div(rs2 as i64) as u64
+                };
+                self.set_reg(inst.rd, value);
+            }
+            Op::Rem => {
+                let value = if rs2 == 0 {
+                    rs1
+                } else {
+                    (rs1 as i64).wrapping_rem(rs2 as i64) as u64
+                };
+                self.set_reg(inst.rd, value);
+            }
+            Op::Addi => self.set_reg(inst.rd, rs1.wrapping_add(imm as u64)),
+            Op::Andi => self.set_reg(inst.rd, rs1 & imm as u64),
+            Op::Ori => self.set_reg(inst.rd, rs1 | imm as u64),
+            Op::Xori => self.set_reg(inst.rd, rs1 ^ imm as u64),
+            Op::Slli => self.set_reg(inst.rd, rs1.wrapping_shl(imm as u32 & 63)),
+            Op::Srli => self.set_reg(inst.rd, rs1.wrapping_shr(imm as u32 & 63)),
+            Op::Srai => self.set_reg(inst.rd, ((rs1 as i64).wrapping_shr(imm as u32 & 63)) as u64),
+            Op::Slti => self.set_reg(inst.rd, u64::from((rs1 as i64) < imm)),
+            Op::Lui => self.set_reg(inst.rd, (imm as u64) << 12),
+
+            Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Lwu | Op::Ld | Op::Fld => {
+                let addr = rs1.wrapping_add(imm as u64);
+                mem_addr = Some(addr);
+                let value = match inst.op {
+                    Op::Lb => self.mem.read_u8(addr) as i8 as i64 as u64,
+                    Op::Lbu => u64::from(self.mem.read_u8(addr)),
+                    Op::Lh => i64::from(i16::from_le_bytes(self.mem.read_bytes::<2>(addr))) as u64,
+                    Op::Lhu => u64::from(u16::from_le_bytes(self.mem.read_bytes::<2>(addr))),
+                    Op::Lw => i64::from(i32::from_le_bytes(self.mem.read_bytes::<4>(addr))) as u64,
+                    Op::Lwu => u64::from(u32::from_le_bytes(self.mem.read_bytes::<4>(addr))),
+                    Op::Ld | Op::Fld => self.mem.read_u64(addr),
+                    _ => unreachable!(),
+                };
+                self.set_reg(inst.rd, value);
+            }
+            Op::Sb | Op::Sh | Op::Sw | Op::Sd | Op::Fsd => {
+                let addr = rs1.wrapping_add(imm as u64);
+                mem_addr = Some(addr);
+                match inst.op {
+                    Op::Sb => self.mem.write_u8(addr, rs2 as u8),
+                    Op::Sh => self.mem.write_bytes(addr, &(rs2 as u16).to_le_bytes()),
+                    Op::Sw => self.mem.write_bytes(addr, &(rs2 as u32).to_le_bytes()),
+                    Op::Sd | Op::Fsd => self.mem.write_u64(addr, rs2),
+                    _ => unreachable!(),
+                }
+            }
+
+            Op::Fadd => self.set_reg(inst.rd, (f1 + f2).to_bits()),
+            Op::Fsub => self.set_reg(inst.rd, (f1 - f2).to_bits()),
+            Op::Fmul => self.set_reg(inst.rd, (f1 * f2).to_bits()),
+            Op::Fdiv => self.set_reg(inst.rd, (f1 / f2).to_bits()),
+            Op::Fsqrt => self.set_reg(inst.rd, f1.sqrt().to_bits()),
+            Op::Fcvt => self.set_reg(inst.rd, ((rs1 as i64) as f64).to_bits()),
+            Op::Fcvtz => self.set_reg(inst.rd, (f1 as i64) as u64),
+            Op::Flt => self.set_reg(inst.rd, u64::from(f1 < f2)),
+            Op::Fmv => self.set_reg(inst.rd, rs1),
+
+            Op::Beq => taken = rs1 == rs2,
+            Op::Bne => taken = rs1 != rs2,
+            Op::Blt => taken = (rs1 as i64) < (rs2 as i64),
+            Op::Bge => taken = (rs1 as i64) >= (rs2 as i64),
+            Op::Bltu => taken = rs1 < rs2,
+            Op::Bgeu => taken = rs1 >= rs2,
+            Op::Jal => {
+                self.set_reg(inst.rd, next_pc);
+                next_pc = pc.wrapping_add(imm as u64);
+            }
+            Op::Jalr => {
+                self.set_reg(inst.rd, next_pc);
+                next_pc = rs1.wrapping_add(imm as u64);
+            }
+
+            Op::Syscall => self.syscall(),
+            Op::Eret => {} // meaningful only in synthesized kernel streams
+            Op::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+        }
+        if taken {
+            next_pc = pc.wrapping_add(imm as u64);
+        }
+        if self.halted {
+            next_pc = pc;
+        }
+        self.pc = next_pc;
+        self.executed += 1;
+        Ok(Some(DynInst {
+            pc,
+            inst,
+            mem_addr,
+            taken,
+            next_pc,
+            mode: Mode::User,
+        }))
+    }
+
+    fn syscall(&mut self) {
+        let service = self.reg(Reg::x(17)); // a7
+        let a0 = Reg::a(0);
+        match service {
+            syscalls::EXIT => self.halted = true,
+            syscalls::WRITE => {}
+            syscalls::BRK => {
+                let grow = self.reg(a0);
+                let old = self.brk;
+                self.brk = self.brk.wrapping_add(grow);
+                self.set_reg(a0, old);
+            }
+            syscalls::GETPID => self.set_reg(a0, 42),
+            syscalls::TIME => self.set_reg(a0, self.executed),
+            _ => self.set_reg(a0, 0),
+        }
+    }
+
+    /// Run to completion (or `max` instructions), discarding the trace.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::BadPc`] on a wild program counter, or
+    /// [`EmuError::Runaway`] when `max` is hit first.
+    pub fn run_to_halt(&mut self, max: u64) -> Result<u64, EmuError> {
+        while !self.halted {
+            if self.executed >= max {
+                return Err(EmuError::Runaway(max));
+            }
+            self.step()?;
+        }
+        Ok(self.executed)
+    }
+}
+
+impl Iterator for Emulator {
+    type Item = DynInst;
+
+    /// # Panics
+    ///
+    /// Panics when the program counter leaves the text segment (use
+    /// [`Emulator::step`] to handle that as an error instead).
+    fn next(&mut self) -> Option<DynInst> {
+        self.step().expect("functional execution failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Emulator {
+        let mut emu = Emulator::new(assemble(src).expect("assembles"));
+        emu.run_to_halt(1_000_000).expect("halts");
+        emu
+    }
+
+    #[test]
+    fn arithmetic_loop_sums_correctly() {
+        let emu = run(
+            "main: li a0, 10\n li a1, 0\nloop: add a1, a1, a0\n addi a0, a0, -1\n bnez a0, loop\n halt\n",
+        );
+        assert_eq!(emu.reg(Reg::a(1)), 55);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip_all_widths() {
+        let emu = run(r#"
+            .data
+            buf: .space 64
+            .text
+            main:
+                la   t0, buf
+                li   t1, -2
+                sb   t1, 0(t0)
+                sh   t1, 8(t0)
+                sw   t1, 16(t0)
+                sd   t1, 24(t0)
+                lb   a0, 0(t0)
+                lbu  a1, 0(t0)
+                lh   a2, 8(t0)
+                lhu  a3, 8(t0)
+                lw   a4, 16(t0)
+                lwu  a5, 16(t0)
+                ld   a6, 24(t0)
+                halt
+            "#);
+        assert_eq!(emu.reg(Reg::a(0)) as i64, -2);
+        assert_eq!(emu.reg(Reg::a(1)), 0xfe);
+        assert_eq!(emu.reg(Reg::a(2)) as i64, -2);
+        assert_eq!(emu.reg(Reg::a(3)), 0xfffe);
+        assert_eq!(emu.reg(Reg::a(4)) as i64, -2);
+        assert_eq!(emu.reg(Reg::a(5)), 0xffff_fffe);
+        assert_eq!(emu.reg(Reg::a(6)) as i64, -2);
+    }
+
+    #[test]
+    fn floating_point_pipeline() {
+        let emu = run(r#"
+            .data
+            v: .double 9.0, 0.25
+            .text
+            main:
+                la    t0, v
+                fld   f0, 0(t0)
+                fld   f1, 8(t0)
+                fsqrt f2, f0          # 3.0
+                fmul  f3, f2, f1      # 0.75
+                fadd  f4, f3, f2      # 3.75
+                fdiv  f5, f4, f1      # 15.0
+                fcvtz a0, f5
+                li    t1, 2
+                fcvt  f6, t1
+                flt   a1, f1, f6      # 0.25 < 2.0
+                halt
+            "#);
+        assert_eq!(emu.reg(Reg::a(0)), 15);
+        assert_eq!(emu.reg(Reg::a(1)), 1);
+        assert_eq!(emu.freg(Reg::f(4)), 3.75);
+    }
+
+    #[test]
+    fn calls_returns_and_stack() {
+        let emu = run(r#"
+            main:
+                li   a0, 5
+                call double
+                mv   s0, a0
+                li   a0, 7
+                call double
+                add  a0, a0, s0
+                halt
+            double:
+                addi sp, sp, -8
+                sd   ra, 0(sp)
+                add  a0, a0, a0
+                ld   ra, 0(sp)
+                addi sp, sp, 8
+                ret
+            "#);
+        assert_eq!(emu.reg(Reg::a(0)), 24);
+    }
+
+    #[test]
+    fn division_edge_cases_match_spec() {
+        let emu = run(
+            "main: li t0, 7\n li t1, 0\n div a0, t0, t1\n rem a1, t0, t1\n li t2, -8\n li t3, 3\n div a2, t2, t3\n rem a3, t2, t3\n halt\n",
+        );
+        assert_eq!(emu.reg(Reg::a(0)) as i64, -1);
+        assert_eq!(emu.reg(Reg::a(1)), 7);
+        assert_eq!(emu.reg(Reg::a(2)) as i64, -2);
+        assert_eq!(emu.reg(Reg::a(3)) as i64, -2);
+    }
+
+    #[test]
+    fn trace_records_addresses_and_branches() {
+        let program = assemble(
+            "main: li t0, 2\nloop: addi t0, t0, -1\n bnez t0, loop\n sd t0, 0(sp)\n halt\n",
+        )
+        .unwrap();
+        let trace: Vec<DynInst> = Emulator::new(program).collect();
+        // li, addi, bnez(taken), addi, bnez(not), sd, halt
+        assert_eq!(trace.len(), 7);
+        assert!(trace[2].taken);
+        assert!(trace[2].diverted());
+        assert!(!trace[4].taken);
+        assert_eq!(trace[5].mem_addr, Some(STACK_TOP));
+        assert_eq!(trace[6].inst.op, Op::Halt);
+        assert!(trace.iter().all(|d| d.mode == Mode::User));
+    }
+
+    #[test]
+    fn syscalls_brk_and_time() {
+        let emu = run(r#"
+            main:
+                li a7, 2      # BRK
+                li a0, 4096
+                syscall
+                mv s0, a0     # old break
+                li a7, 3      # GETPID
+                syscall
+                mv s1, a0
+                li a7, 0      # EXIT
+                syscall
+                halt          # never reached
+            "#);
+        assert!(emu.is_halted());
+        assert!(emu.reg(Reg::s(0)) >= DATA_BASE);
+        assert_eq!(emu.reg(Reg::s(1)), 42);
+        // EXIT stops before the trailing halt executes.
+        assert_eq!(emu.executed(), 9);
+    }
+
+    #[test]
+    fn bad_pc_is_an_error_not_a_hang() {
+        let program = assemble("main: jr zero\n halt\n").unwrap();
+        let mut emu = Emulator::new(program);
+        emu.step().unwrap(); // jr to address 0
+        assert_eq!(emu.step(), Err(EmuError::BadPc(0)));
+    }
+
+    #[test]
+    fn runaway_guard_fires() {
+        let program = assemble("main: j main\n halt\n").unwrap();
+        let mut emu = Emulator::new(program);
+        assert_eq!(emu.run_to_halt(100), Err(EmuError::Runaway(100)));
+    }
+
+    #[test]
+    fn shift_and_convert_edge_cases() {
+        let emu = run(r#"
+            main:
+                li   t0, -8
+                li   t1, 1
+                sra  a0, t0, t1       # -4
+                srl  a1, t0, t1       # huge positive
+                li   t2, 70
+                sll  a2, t1, t2       # shift amount masked to 6 (70 & 63)
+                # float conversions
+                li   t3, -3
+                fcvt f0, t3
+                fcvtz a3, f0          # back to -3
+                fsub f1, f0, f0       # 0.0
+                fcvtz a4, f1
+                halt
+            "#);
+        assert_eq!(emu.reg(Reg::a(0)) as i64, -4);
+        assert_eq!(emu.reg(Reg::a(1)), (-8i64 as u64) >> 1);
+        assert_eq!(emu.reg(Reg::a(2)), 1u64 << 6);
+        assert_eq!(emu.reg(Reg::a(3)) as i64, -3);
+        assert_eq!(emu.reg(Reg::a(4)), 0);
+    }
+
+    #[test]
+    fn time_and_write_syscalls() {
+        let emu = run("main: nop
+ nop
+ li a7, 4
+ syscall
+ mv s0, a0
+ li a7, 1
+ li a0, 77
+ syscall
+ halt
+");
+        // TIME returns the instruction count at the moment of the syscall
+        // (nop, nop, li = 3 executed before it; the syscall itself counts
+        // after returning).
+        assert_eq!(emu.reg(Reg::s(0)), 3);
+        // WRITE is an architectural no-op: a0 keeps its value.
+        assert_eq!(emu.reg(Reg::a(0)), 77);
+    }
+
+    #[test]
+    fn unknown_syscall_returns_zero() {
+        let emu = run("main: li a7, 99
+ li a0, 5
+ syscall
+ halt
+");
+        assert_eq!(emu.reg(Reg::a(0)), 0);
+    }
+
+    #[test]
+    fn mem_mut_seeds_program_inputs() {
+        let program = assemble(
+            ".data
+v: .space 8
+.text
+main: la t0, v
+ ld a0, 0(t0)
+ halt
+",
+        )
+        .unwrap();
+        let v = program.symbol("v").unwrap();
+        let mut emu = Emulator::new(program);
+        emu.mem_mut().write_u64(v, 424242);
+        emu.run_to_halt(100).unwrap();
+        assert_eq!(emu.reg(Reg::a(0)), 424242);
+    }
+
+    #[test]
+    fn resident_pages_track_footprint() {
+        let mut mem = SparseMem::new();
+        assert_eq!(mem.resident_pages(), 0);
+        mem.write_u8(0, 1);
+        mem.write_u8(4095, 1);
+        assert_eq!(mem.resident_pages(), 1, "same page");
+        mem.write_u8(4096, 1);
+        assert_eq!(mem.resident_pages(), 2);
+        // Cross-page u64 write touches both pages.
+        mem.write_u64(2 * 4096 - 4, u64::MAX);
+        assert_eq!(mem.resident_pages(), 3);
+        assert_eq!(mem.read_u64(2 * 4096 - 4), u64::MAX);
+    }
+
+    #[test]
+    fn x0_is_immutable() {
+        let emu = run("main: li t0, 5\n add zero, t0, t0\n mv a0, zero\n halt\n");
+        assert_eq!(emu.reg(Reg::ZERO), 0);
+        assert_eq!(emu.reg(Reg::a(0)), 0);
+    }
+}

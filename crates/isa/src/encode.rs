@@ -1,0 +1,182 @@
+//! Fixed 64-bit binary encoding.
+//!
+//! Layout (most significant byte first):
+//!
+//! ```text
+//! bits 63..56   opcode byte
+//! bits 55..50   rd   (unified register index)
+//! bits 49..44   rs1
+//! bits 43..38   rs2
+//! bits 37..32   reserved (zero)
+//! bits 31..0    immediate, two's-complement 32-bit
+//! ```
+//!
+//! Immediates outside the signed 32-bit range cannot be represented; the
+//! assembler rejects them and [`encode`] panics in debug builds.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::Op;
+use crate::reg::Reg;
+
+/// Error returned by [`decode`] for malformed instruction words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte names no opcode.
+    UnknownOpcode(u8),
+    /// A reserved field held a nonzero value.
+    ReservedBits(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(code) => write!(f, "unknown opcode byte {code:#04x}"),
+            DecodeError::ReservedBits(word) => {
+                write!(f, "reserved bits set in instruction word {word:#018x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encode an instruction into its 64-bit word.
+///
+/// # Panics
+///
+/// Panics (in all builds) when the immediate does not fit in a signed
+/// 32-bit field; the assembler guarantees this for assembled programs.
+pub fn encode(inst: &Inst) -> u64 {
+    assert!(
+        i32::try_from(inst.imm).is_ok(),
+        "immediate {} does not fit the 32-bit encoding field",
+        inst.imm
+    );
+    let imm = (inst.imm as i32) as u32;
+    (u64::from(inst.op.code()) << 56)
+        | ((inst.rd.index() as u64) << 50)
+        | ((inst.rs1.index() as u64) << 44)
+        | ((inst.rs2.index() as u64) << 38)
+        | u64::from(imm)
+}
+
+/// Decode a 64-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnknownOpcode`] when the opcode byte is
+/// unassigned and [`DecodeError::ReservedBits`] when bits 37..32 are not
+/// zero.
+pub fn decode(word: u64) -> Result<Inst, DecodeError> {
+    let code = (word >> 56) as u8;
+    let op = Op::from_code(code).ok_or(DecodeError::UnknownOpcode(code))?;
+    if (word >> 32) & 0x3f != 0 {
+        return Err(DecodeError::ReservedBits(word));
+    }
+    let reg = |shift: u32| {
+        // Six-bit fields always fit the 64-entry register space.
+        Reg::from_index(((word >> shift) & 0x3f) as u8).expect("6-bit register field")
+    };
+    Ok(Inst {
+        op,
+        rd: reg(50),
+        rs1: reg(44),
+        rs2: reg(38),
+        imm: i64::from(word as u32 as i32),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpClass;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..64).prop_map(|i| Reg::from_index(i).unwrap())
+    }
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        let ops = prop::sample::select(Op::ALL.to_vec());
+        (ops, arb_reg(), arb_reg(), arb_reg(), any::<i32>()).prop_map(|(op, rd, rs1, rs2, imm)| {
+            Inst {
+                op,
+                rd,
+                rs1,
+                rs2,
+                imm: i64::from(imm),
+            }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in arb_inst()) {
+            let word = encode(&inst);
+            let back = decode(word).expect("decode of freshly encoded word");
+            prop_assert_eq!(inst, back);
+        }
+
+        #[test]
+        fn distinct_insts_encode_distinct_words(a in arb_inst(), b in arb_inst()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(encode(&a), encode(&b));
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        assert_eq!(decode(0xff << 56), Err(DecodeError::UnknownOpcode(0xff)));
+    }
+
+    #[test]
+    fn reserved_bits_are_rejected() {
+        let word = encode(&Inst::nop()) | (1 << 35);
+        assert!(matches!(decode(word), Err(DecodeError::ReservedBits(_))));
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let inst = Inst::rri(Op::Addi, Reg::x(1), Reg::x(1), -1);
+        let back = decode(encode(&inst)).unwrap();
+        assert_eq!(back.imm, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_immediate_panics() {
+        let inst = Inst::rri(Op::Addi, Reg::x(1), Reg::x(1), 1 << 40);
+        let _ = encode(&inst);
+    }
+
+    #[test]
+    fn decode_error_display_is_nonempty() {
+        assert!(!DecodeError::UnknownOpcode(0xab).to_string().is_empty());
+        assert!(!DecodeError::ReservedBits(0).to_string().is_empty());
+    }
+
+    #[test]
+    fn every_class_is_reachable_from_some_op() {
+        // Guards against opcode-table edits that orphan a class.
+        use std::collections::HashSet;
+        let classes: HashSet<_> = Op::ALL.iter().map(|op| op.class()).collect();
+        for class in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+            OpClass::Jump,
+            OpClass::System,
+        ] {
+            assert!(classes.contains(&class), "{class:?} unreachable");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The decoded instruction type.
+
+use std::fmt;
+
+use crate::op::{Op, OpClass};
+use crate::reg::Reg;
+
+/// One decoded instruction.
+///
+/// The same three register fields serve every format; unused fields hold
+/// [`Reg::ZERO`] and an unused immediate holds zero. The constructors
+/// ([`Inst::rrr`], [`Inst::rri`], [`Inst::load`], [`Inst::store`],
+/// [`Inst::branch`], ...) build each format with the conventional operand
+/// order.
+///
+/// ```
+/// use cpe_isa::{Inst, Op, Reg};
+///
+/// let add = Inst::rrr(Op::Add, Reg::x(1), Reg::x(2), Reg::x(3));
+/// assert_eq!(add.to_string(), "add x1, x2, x3");
+///
+/// let load = Inst::load(Op::Ld, Reg::x(4), Reg::SP, 16);
+/// assert_eq!(load.to_string(), "ld x4, 16(x2)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register.
+    pub rd: Reg,
+    /// First source register (the base register of loads/stores).
+    pub rs1: Reg,
+    /// Second source register (the data register of stores).
+    pub rs2: Reg,
+    /// Immediate operand: displacement for memory references, byte offset
+    /// for control transfers, literal for ALU-immediate forms.
+    pub imm: i64,
+}
+
+impl Inst {
+    /// Register-register-register format: `op rd, rs1, rs2`.
+    pub const fn rrr(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
+    }
+
+    /// Register-register-immediate format: `op rd, rs1, imm`.
+    pub const fn rri(op: Op, rd: Reg, rs1: Reg, imm: i64) -> Inst {
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        }
+    }
+
+    /// Load format: `op rd, imm(base)`.
+    pub const fn load(op: Op, rd: Reg, base: Reg, imm: i64) -> Inst {
+        Inst {
+            op,
+            rd,
+            rs1: base,
+            rs2: Reg::ZERO,
+            imm,
+        }
+    }
+
+    /// Store format: `op data, imm(base)`.
+    pub const fn store(op: Op, data: Reg, base: Reg, imm: i64) -> Inst {
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1: base,
+            rs2: data,
+            imm,
+        }
+    }
+
+    /// Branch format: `op rs1, rs2, byte_offset` (offset is relative to this
+    /// instruction's address).
+    pub const fn branch(op: Op, rs1: Reg, rs2: Reg, offset: i64) -> Inst {
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2,
+            imm: offset,
+        }
+    }
+
+    /// `jal rd, byte_offset`.
+    pub const fn jal(rd: Reg, offset: i64) -> Inst {
+        Inst {
+            op: Op::Jal,
+            rd,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: offset,
+        }
+    }
+
+    /// `jalr rd, imm(rs1)`.
+    pub const fn jalr(rd: Reg, base: Reg, imm: i64) -> Inst {
+        Inst {
+            op: Op::Jalr,
+            rd,
+            rs1: base,
+            rs2: Reg::ZERO,
+            imm,
+        }
+    }
+
+    /// Opcode-only format (`syscall`, `eret`, `halt`).
+    pub const fn system(op: Op) -> Inst {
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        }
+    }
+
+    /// A canonical no-op (`addi x0, x0, 0`).
+    pub const fn nop() -> Inst {
+        Inst::rri(Op::Addi, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// The destination register, when the instruction writes one.
+    ///
+    /// `x0` destinations are reported as `None` since the write has no
+    /// architectural effect.
+    pub fn dest(&self) -> Option<Reg> {
+        let writes = match self.op.class() {
+            OpClass::Store | OpClass::Branch | OpClass::System => false,
+            OpClass::Jump => true,
+            _ => true,
+        };
+        (writes && !self.rd.is_zero()).then_some(self.rd)
+    }
+
+    /// The source registers read by this instruction (zero register
+    /// excluded, since it never creates a dependence).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> {
+        let (a, b) = match self.op.class() {
+            OpClass::Store => (Some(self.rs1), Some(self.rs2)),
+            OpClass::Branch => (Some(self.rs1), Some(self.rs2)),
+            OpClass::Load => (Some(self.rs1), None),
+            OpClass::Jump if self.op == Op::Jalr => (Some(self.rs1), None),
+            OpClass::Jump | OpClass::System => (None, None),
+            // `lui` reads nothing; every other ALU/FP form reads rs1 and,
+            // for the register-register forms, rs2.
+            _ if self.op == Op::Lui => (None, None),
+            _ if self.op == Op::Fcvt || self.op == Op::Fcvtz => (Some(self.rs1), None),
+            _ if self.op == Op::Fsqrt || self.op == Op::Fmv => (Some(self.rs1), None),
+            _ if self.is_imm_alu() => (Some(self.rs1), None),
+            _ => (Some(self.rs1), Some(self.rs2)),
+        };
+        a.into_iter().chain(b).filter(|r| !r.is_zero())
+    }
+
+    fn is_imm_alu(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slli | Op::Srli | Op::Srai | Op::Slti
+        )
+    }
+}
+
+impl Default for Inst {
+    fn default() -> Self {
+        Inst::nop()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.class() {
+            OpClass::Load => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            OpClass::Store => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            OpClass::Branch => write!(f, "{m} {}, {}, {:+}", self.rs1, self.rs2, self.imm),
+            OpClass::Jump => match self.op {
+                Op::Jal => write!(f, "{m} {}, {:+}", self.rd, self.imm),
+                _ => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            },
+            OpClass::System => f.write_str(m),
+            _ => match self.op {
+                Op::Lui => write!(f, "{m} {}, {}", self.rd, self.imm),
+                Op::Fsqrt | Op::Fmv | Op::Fcvt | Op::Fcvtz => {
+                    write!(f, "{m} {}, {}", self.rd, self.rs1)
+                }
+                _ if self.is_imm_alu() => {
+                    write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm)
+                }
+                _ => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_hides_zero_register_writes() {
+        let inst = Inst::rri(Op::Addi, Reg::ZERO, Reg::x(1), 4);
+        assert_eq!(inst.dest(), None);
+        let inst = Inst::rri(Op::Addi, Reg::x(2), Reg::x(1), 4);
+        assert_eq!(inst.dest(), Some(Reg::x(2)));
+    }
+
+    #[test]
+    fn stores_and_branches_have_no_dest() {
+        assert_eq!(Inst::store(Op::Sd, Reg::x(3), Reg::SP, 0).dest(), None);
+        assert_eq!(Inst::branch(Op::Beq, Reg::x(1), Reg::x(2), 8).dest(), None);
+        assert_eq!(Inst::system(Op::Halt).dest(), None);
+    }
+
+    #[test]
+    fn jumps_write_their_link_register() {
+        assert_eq!(Inst::jal(Reg::RA, 16).dest(), Some(Reg::RA));
+        assert_eq!(Inst::jalr(Reg::ZERO, Reg::RA, 0).dest(), None);
+    }
+
+    #[test]
+    fn sources_reflect_format() {
+        let store = Inst::store(Op::Sd, Reg::x(3), Reg::SP, 0);
+        let srcs: Vec<_> = store.sources().collect();
+        assert_eq!(srcs, vec![Reg::SP, Reg::x(3)]);
+
+        let load = Inst::load(Op::Ld, Reg::x(4), Reg::SP, 8);
+        let srcs: Vec<_> = load.sources().collect();
+        assert_eq!(srcs, vec![Reg::SP]);
+
+        let lui = Inst::rri(Op::Lui, Reg::x(4), Reg::ZERO, 0x12);
+        assert_eq!(lui.sources().count(), 0);
+
+        let addi = Inst::rri(Op::Addi, Reg::x(4), Reg::x(5), 1);
+        let srcs: Vec<_> = addi.sources().collect();
+        assert_eq!(srcs, vec![Reg::x(5)]);
+    }
+
+    #[test]
+    fn zero_register_sources_are_suppressed() {
+        let add = Inst::rrr(Op::Add, Reg::x(1), Reg::ZERO, Reg::x(2));
+        let srcs: Vec<_> = add.sources().collect();
+        assert_eq!(srcs, vec![Reg::x(2)]);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Inst::nop().to_string(), "addi x0, x0, 0");
+        assert_eq!(
+            Inst::branch(Op::Bne, Reg::x(1), Reg::ZERO, -8).to_string(),
+            "bne x1, x0, -8"
+        );
+        assert_eq!(Inst::jal(Reg::RA, 32).to_string(), "jal x1, +32");
+        assert_eq!(Inst::system(Op::Syscall).to_string(), "syscall");
+        assert_eq!(
+            Inst::store(Op::Fsd, Reg::f(2), Reg::x(9), -16).to_string(),
+            "fsd f2, -16(x9)"
+        );
+    }
+
+    #[test]
+    fn fp_unary_sources() {
+        let sqrt = Inst {
+            op: Op::Fsqrt,
+            rd: Reg::f(1),
+            rs1: Reg::f(2),
+            rs2: Reg::ZERO,
+            imm: 0,
+        };
+        let srcs: Vec<_> = sqrt.sources().collect();
+        assert_eq!(srcs, vec![Reg::f(2)]);
+    }
+}

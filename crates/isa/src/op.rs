@@ -1,0 +1,358 @@
+//! Opcodes and opcode classification.
+
+use std::fmt;
+
+/// Width in bytes of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Number of bytes transferred.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for MemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// Broad classification of an opcode, used by the pipeline model to select a
+/// functional unit and by the memory model to route references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU operation (1-cycle).
+    IntAlu,
+    /// Integer multiply (pipelined, multi-cycle).
+    IntMul,
+    /// Integer divide (unpipelined, multi-cycle).
+    IntDiv,
+    /// Floating-point add/subtract/compare/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root (unpipelined).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump / call / return.
+    Jump,
+    /// System instruction (`syscall`, `eret`, `halt`).
+    System,
+}
+
+macro_rules! ops {
+    ($( $(#[$meta:meta])* $name:ident = ($code:expr, $class:expr, $mnem:expr) ),+ $(,)?) => {
+        /// An opcode of the miniature RISC machine.
+        ///
+        /// Use [`Op::class`] to find the functional-unit class, and
+        /// [`Op::mem_width`] for the access width of loads and stores.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Op {
+            $( $(#[$meta])* $name = $code, )+
+        }
+
+        impl Op {
+            /// All opcodes, in encoding order.
+            pub const ALL: &'static [Op] = &[ $(Op::$name),+ ];
+
+            /// The functional-unit class of this opcode.
+            #[inline]
+            pub const fn class(self) -> OpClass {
+                match self {
+                    $( Op::$name => $class, )+
+                }
+            }
+
+            /// The assembler mnemonic.
+            #[inline]
+            pub const fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Op::$name => $mnem, )+
+                }
+            }
+
+            /// Reconstruct an opcode from its encoding byte.
+            ///
+            /// Returns `None` for bytes that encode no opcode.
+            #[inline]
+            pub const fn from_code(code: u8) -> Option<Op> {
+                match code {
+                    $( $code => Some(Op::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// Look an opcode up by mnemonic.
+            pub fn from_mnemonic(mnem: &str) -> Option<Op> {
+                match mnem {
+                    $( $mnem => Some(Op::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The encoding byte.
+            #[inline]
+            pub const fn code(self) -> u8 {
+                self as u8
+            }
+        }
+    };
+}
+
+ops! {
+    // --- Integer register-register ---------------------------------------
+    /// `add rd, rs1, rs2` — 64-bit wrapping add.
+    Add = (0x00, OpClass::IntAlu, "add"),
+    /// `sub rd, rs1, rs2` — 64-bit wrapping subtract.
+    Sub = (0x01, OpClass::IntAlu, "sub"),
+    /// `and rd, rs1, rs2` — bitwise AND.
+    And = (0x02, OpClass::IntAlu, "and"),
+    /// `or rd, rs1, rs2` — bitwise OR.
+    Or = (0x03, OpClass::IntAlu, "or"),
+    /// `xor rd, rs1, rs2` — bitwise XOR.
+    Xor = (0x04, OpClass::IntAlu, "xor"),
+    /// `sll rd, rs1, rs2` — shift left logical by `rs2 & 63`.
+    Sll = (0x05, OpClass::IntAlu, "sll"),
+    /// `srl rd, rs1, rs2` — shift right logical by `rs2 & 63`.
+    Srl = (0x06, OpClass::IntAlu, "srl"),
+    /// `sra rd, rs1, rs2` — shift right arithmetic by `rs2 & 63`.
+    Sra = (0x07, OpClass::IntAlu, "sra"),
+    /// `slt rd, rs1, rs2` — set `rd` to 1 when `rs1 < rs2` (signed).
+    Slt = (0x08, OpClass::IntAlu, "slt"),
+    /// `sltu rd, rs1, rs2` — set `rd` to 1 when `rs1 < rs2` (unsigned).
+    Sltu = (0x09, OpClass::IntAlu, "sltu"),
+    /// `mul rd, rs1, rs2` — low 64 bits of the product.
+    Mul = (0x0a, OpClass::IntMul, "mul"),
+    /// `div rd, rs1, rs2` — signed quotient; division by zero yields -1.
+    Div = (0x0b, OpClass::IntDiv, "div"),
+    /// `rem rd, rs1, rs2` — signed remainder; division by zero yields `rs1`.
+    Rem = (0x0c, OpClass::IntDiv, "rem"),
+
+    // --- Integer register-immediate ---------------------------------------
+    /// `addi rd, rs1, imm` — add sign-extended immediate.
+    Addi = (0x10, OpClass::IntAlu, "addi"),
+    /// `andi rd, rs1, imm` — AND immediate.
+    Andi = (0x11, OpClass::IntAlu, "andi"),
+    /// `ori rd, rs1, imm` — OR immediate.
+    Ori = (0x12, OpClass::IntAlu, "ori"),
+    /// `xori rd, rs1, imm` — XOR immediate.
+    Xori = (0x13, OpClass::IntAlu, "xori"),
+    /// `slli rd, rs1, imm` — shift left logical by `imm & 63`.
+    Slli = (0x14, OpClass::IntAlu, "slli"),
+    /// `srli rd, rs1, imm` — shift right logical by `imm & 63`.
+    Srli = (0x15, OpClass::IntAlu, "srli"),
+    /// `srai rd, rs1, imm` — shift right arithmetic by `imm & 63`.
+    Srai = (0x16, OpClass::IntAlu, "srai"),
+    /// `slti rd, rs1, imm` — set on less-than immediate (signed).
+    Slti = (0x17, OpClass::IntAlu, "slti"),
+    /// `lui rd, imm` — load `imm << 12` into `rd`.
+    Lui = (0x18, OpClass::IntAlu, "lui"),
+
+    // --- Loads -------------------------------------------------------------
+    /// `lb rd, imm(rs1)` — load byte, sign-extended.
+    Lb = (0x20, OpClass::Load, "lb"),
+    /// `lbu rd, imm(rs1)` — load byte, zero-extended.
+    Lbu = (0x21, OpClass::Load, "lbu"),
+    /// `lh rd, imm(rs1)` — load half-word, sign-extended.
+    Lh = (0x22, OpClass::Load, "lh"),
+    /// `lhu rd, imm(rs1)` — load half-word, zero-extended.
+    Lhu = (0x23, OpClass::Load, "lhu"),
+    /// `lw rd, imm(rs1)` — load word, sign-extended.
+    Lw = (0x24, OpClass::Load, "lw"),
+    /// `lwu rd, imm(rs1)` — load word, zero-extended.
+    Lwu = (0x25, OpClass::Load, "lwu"),
+    /// `ld rd, imm(rs1)` — load double-word.
+    Ld = (0x26, OpClass::Load, "ld"),
+    /// `fld fd, imm(rs1)` — load double-precision float.
+    Fld = (0x27, OpClass::Load, "fld"),
+
+    // --- Stores ------------------------------------------------------------
+    /// `sb rs2, imm(rs1)` — store byte.
+    Sb = (0x28, OpClass::Store, "sb"),
+    /// `sh rs2, imm(rs1)` — store half-word.
+    Sh = (0x29, OpClass::Store, "sh"),
+    /// `sw rs2, imm(rs1)` — store word.
+    Sw = (0x2a, OpClass::Store, "sw"),
+    /// `sd rs2, imm(rs1)` — store double-word.
+    Sd = (0x2b, OpClass::Store, "sd"),
+    /// `fsd fs2, imm(rs1)` — store double-precision float.
+    Fsd = (0x2c, OpClass::Store, "fsd"),
+
+    // --- Floating point -----------------------------------------------------
+    /// `fadd fd, fs1, fs2` — double-precision add.
+    Fadd = (0x30, OpClass::FpAdd, "fadd"),
+    /// `fsub fd, fs1, fs2` — double-precision subtract.
+    Fsub = (0x31, OpClass::FpAdd, "fsub"),
+    /// `fmul fd, fs1, fs2` — double-precision multiply.
+    Fmul = (0x32, OpClass::FpMul, "fmul"),
+    /// `fdiv fd, fs1, fs2` — double-precision divide.
+    Fdiv = (0x33, OpClass::FpDiv, "fdiv"),
+    /// `fsqrt fd, fs1` — double-precision square root.
+    Fsqrt = (0x34, OpClass::FpDiv, "fsqrt"),
+    /// `fcvt fd, rs1` — convert signed integer to double.
+    Fcvt = (0x35, OpClass::FpAdd, "fcvt"),
+    /// `fcvtz rd, fs1` — convert double to signed integer, truncating.
+    Fcvtz = (0x36, OpClass::FpAdd, "fcvtz"),
+    /// `flt rd, fs1, fs2` — set `rd` to 1 when `fs1 < fs2`.
+    Flt = (0x37, OpClass::FpAdd, "flt"),
+    /// `fmv fd, fs1` — move between float registers.
+    Fmv = (0x38, OpClass::FpAdd, "fmv"),
+
+    // --- Control transfer ----------------------------------------------------
+    /// `beq rs1, rs2, target` — branch when equal.
+    Beq = (0x40, OpClass::Branch, "beq"),
+    /// `bne rs1, rs2, target` — branch when not equal.
+    Bne = (0x41, OpClass::Branch, "bne"),
+    /// `blt rs1, rs2, target` — branch when less-than (signed).
+    Blt = (0x42, OpClass::Branch, "blt"),
+    /// `bge rs1, rs2, target` — branch when greater-or-equal (signed).
+    Bge = (0x43, OpClass::Branch, "bge"),
+    /// `bltu rs1, rs2, target` — branch when less-than (unsigned).
+    Bltu = (0x44, OpClass::Branch, "bltu"),
+    /// `bgeu rs1, rs2, target` — branch when greater-or-equal (unsigned).
+    Bgeu = (0x45, OpClass::Branch, "bgeu"),
+    /// `jal rd, target` — jump and link.
+    Jal = (0x46, OpClass::Jump, "jal"),
+    /// `jalr rd, imm(rs1)` — indirect jump and link.
+    Jalr = (0x47, OpClass::Jump, "jalr"),
+
+    // --- System ---------------------------------------------------------------
+    /// `syscall` — trap into the (modelled) kernel; service in `a7`.
+    Syscall = (0x50, OpClass::System, "syscall"),
+    /// `eret` — return from kernel mode to the interrupted user PC.
+    Eret = (0x51, OpClass::System, "eret"),
+    /// `halt` — stop the machine; end of program.
+    Halt = (0x52, OpClass::System, "halt"),
+}
+
+impl Op {
+    /// Memory access width for loads and stores; `None` otherwise.
+    #[inline]
+    pub const fn mem_width(self) -> Option<MemWidth> {
+        match self {
+            Op::Lb | Op::Lbu | Op::Sb => Some(MemWidth::B1),
+            Op::Lh | Op::Lhu | Op::Sh => Some(MemWidth::B2),
+            Op::Lw | Op::Lwu | Op::Sw => Some(MemWidth::B4),
+            Op::Ld | Op::Sd | Op::Fld | Op::Fsd => Some(MemWidth::B8),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`OpClass::Load`] opcodes.
+    #[inline]
+    pub const fn is_load(self) -> bool {
+        matches!(self.class(), OpClass::Load)
+    }
+
+    /// `true` for [`OpClass::Store`] opcodes.
+    #[inline]
+    pub const fn is_store(self) -> bool {
+        matches!(self.class(), OpClass::Store)
+    }
+
+    /// `true` for memory-referencing opcodes (loads and stores).
+    #[inline]
+    pub const fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// `true` for conditional branches.
+    #[inline]
+    pub const fn is_branch(self) -> bool {
+        matches!(self.class(), OpClass::Branch)
+    }
+
+    /// `true` for any control transfer (branch or jump).
+    #[inline]
+    pub const fn is_control(self) -> bool {
+        matches!(self.class(), OpClass::Branch | OpClass::Jump)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip_covers_every_opcode() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_code(op.code()), Some(op), "{op}");
+        }
+    }
+
+    #[test]
+    fn mnemonic_roundtrip_covers_every_opcode() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_mnemonic(op.mnemonic()), Some(op), "{op}");
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Op::ALL {
+            assert!(seen.insert(op.code()), "duplicate code for {op}");
+        }
+    }
+
+    #[test]
+    fn unknown_codes_and_mnemonics_are_rejected() {
+        assert_eq!(Op::from_code(0xff), None);
+        assert_eq!(Op::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn mem_width_only_for_memory_ops() {
+        for &op in Op::ALL {
+            assert_eq!(op.mem_width().is_some(), op.is_mem(), "{op}");
+        }
+        assert_eq!(Op::Ld.mem_width(), Some(MemWidth::B8));
+        assert_eq!(Op::Sb.mem_width(), Some(MemWidth::B1));
+        assert_eq!(Op::Lh.mem_width(), Some(MemWidth::B2));
+        assert_eq!(Op::Sw.mem_width(), Some(MemWidth::B4));
+    }
+
+    #[test]
+    fn classification_predicates_are_mutually_consistent() {
+        for &op in Op::ALL {
+            assert!(!(op.is_load() && op.is_store()), "{op}");
+            if op.is_branch() {
+                assert!(op.is_control(), "{op}");
+            }
+        }
+        assert!(Op::Jal.is_control());
+        assert!(!Op::Jal.is_branch());
+        assert!(Op::Beq.is_branch());
+        assert!(Op::Fld.is_load());
+        assert!(Op::Fsd.is_store());
+    }
+}

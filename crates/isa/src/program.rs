@@ -1,0 +1,157 @@
+//! Assembled programs and the canonical address-space layout.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::inst::Inst;
+
+/// Bytes of address space occupied by one instruction.
+///
+/// The binary encoding is 64 bits, but for cache purposes each instruction
+/// occupies four bytes of the text segment, matching the density of the
+/// 32-bit RISC machines the paper modelled.
+pub const INST_BYTES: u64 = 4;
+
+/// Base address of the user text segment.
+pub const TEXT_BASE: u64 = 0x0000_1000;
+
+/// Base address of the user data segment (static data + heap grows up).
+pub const DATA_BASE: u64 = 0x0010_0000;
+
+/// Initial stack pointer (stack grows down).
+pub const STACK_TOP: u64 = 0x7fff_f000;
+
+/// Base address of kernel text. Kernel-mode instruction fetches live here so
+/// that OS activity has a distinct instruction-cache footprint, as it did in
+/// the paper's SimOS runs.
+pub const KERNEL_TEXT_BASE: u64 = 0x8000_0000;
+
+/// Base address of kernel data (kernel stacks, tables, buffers).
+pub const KERNEL_DATA_BASE: u64 = 0x9000_0000;
+
+/// An assembled program: text, initialised data, and symbols.
+///
+/// Produced by [`crate::asm::assemble`]; consumed by the functional emulator
+/// in `cpe-cpu`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Instructions, in text order. Instruction `i` lives at address
+    /// [`TEXT_BASE`]` + i * `[`INST_BYTES`].
+    pub text: Vec<Inst>,
+    /// Initialised data image, loaded at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Label name → absolute address (text labels and data labels).
+    pub symbols: BTreeMap<String, u64>,
+    /// Entry point address. Defaults to [`TEXT_BASE`]; the `main` label
+    /// overrides it.
+    pub entry: u64,
+}
+
+impl Program {
+    /// An empty program (no text, no data, entry at [`TEXT_BASE`]).
+    pub fn new() -> Program {
+        Program {
+            entry: TEXT_BASE,
+            ..Program::default()
+        }
+    }
+
+    /// Address of instruction `index`.
+    #[inline]
+    pub fn inst_addr(index: usize) -> u64 {
+        TEXT_BASE + index as u64 * INST_BYTES
+    }
+
+    /// Index of the instruction at `addr`, when `addr` falls in text.
+    #[inline]
+    pub fn inst_index(&self, addr: u64) -> Option<usize> {
+        if addr < TEXT_BASE || !(addr - TEXT_BASE).is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let index = ((addr - TEXT_BASE) / INST_BYTES) as usize;
+        (index < self.text.len()).then_some(index)
+    }
+
+    /// The instruction at `addr`, when `addr` falls in text.
+    #[inline]
+    pub fn fetch(&self, addr: u64) -> Option<&Inst> {
+        self.inst_index(addr).map(|i| &self.text[i])
+    }
+
+    /// Look up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total size of the text segment in address-space bytes.
+    pub fn text_bytes(&self) -> u64 {
+        self.text.len() as u64 * INST_BYTES
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembly listing with addresses and labels.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut label_at: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+        for (name, &addr) in &self.symbols {
+            label_at.entry(addr).or_default().push(name);
+        }
+        for (i, inst) in self.text.iter().enumerate() {
+            let addr = Program::inst_addr(i);
+            if let Some(labels) = label_at.get(&addr) {
+                for label in labels {
+                    writeln!(f, "{label}:")?;
+                }
+            }
+            writeln!(f, "  {addr:#010x}:  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    #[test]
+    fn inst_addressing_roundtrips() {
+        let mut p = Program::new();
+        p.text = vec![Inst::nop(); 10];
+        for i in 0..10 {
+            let addr = Program::inst_addr(i);
+            assert_eq!(p.inst_index(addr), Some(i));
+        }
+        assert_eq!(p.inst_index(TEXT_BASE + 10 * INST_BYTES), None);
+        assert_eq!(p.inst_index(TEXT_BASE + 2), None);
+        assert_eq!(p.inst_index(0), None);
+    }
+
+    #[test]
+    fn fetch_returns_the_right_instruction() {
+        let mut p = Program::new();
+        p.text = vec![Inst::nop(), Inst::rri(Op::Addi, Reg::x(1), Reg::ZERO, 7)];
+        assert_eq!(p.fetch(TEXT_BASE + INST_BYTES).unwrap().imm, 7);
+        assert_eq!(p.fetch(TEXT_BASE + 2 * INST_BYTES), None);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the layout invariant
+    fn segments_do_not_overlap() {
+        assert!(TEXT_BASE < DATA_BASE);
+        assert!(DATA_BASE < STACK_TOP);
+        assert!(STACK_TOP < KERNEL_TEXT_BASE);
+        assert!(KERNEL_TEXT_BASE < KERNEL_DATA_BASE);
+    }
+
+    #[test]
+    fn display_lists_labels_and_addresses() {
+        let mut p = Program::new();
+        p.text = vec![Inst::nop()];
+        p.symbols.insert("main".into(), TEXT_BASE);
+        let listing = p.to_string();
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("0x00001000"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Register names.
+
+use std::fmt;
+
+/// A register in the unified 64-entry register name space.
+///
+/// Indices `0..=31` name the integer registers `x0`..`x31` and indices
+/// `32..=63` name the floating-point registers `f0`..`f31`. Integer register
+/// `x0` reads as zero and ignores writes, as in most RISC architectures.
+///
+/// The assembler also accepts the conventional ABI aliases (`zero`, `ra`,
+/// `sp`, `a0`–`a7`, `t0`–`t6`, `s0`–`s11`) — see [`Reg::parse`].
+///
+/// ```
+/// use cpe_isa::Reg;
+///
+/// assert_eq!(Reg::x(5).index(), 5);
+/// assert_eq!(Reg::f(5).index(), 37);
+/// assert!(Reg::ZERO.is_zero());
+/// assert_eq!(Reg::parse("a0"), Some(Reg::x(10)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of registers in the unified name space.
+    pub const COUNT: usize = 64;
+
+    /// The hard-wired zero register (`x0`).
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register (`x1`, alias `ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`x2`, alias `sp`).
+    pub const SP: Reg = Reg(2);
+    /// Global pointer (`x3`, alias `gp`).
+    pub const GP: Reg = Reg(3);
+
+    /// Integer register `xN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn x(n: u8) -> Reg {
+        assert!(n < 32, "integer register index out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `fN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn f(n: u8) -> Reg {
+        assert!(n < 32, "float register index out of range");
+        Reg(32 + n)
+    }
+
+    /// Argument register `aN` (`a0`..`a7` map to `x10`..`x17`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    #[inline]
+    pub const fn a(n: u8) -> Reg {
+        assert!(n < 8, "argument register index out of range");
+        Reg(10 + n)
+    }
+
+    /// Temporary register `tN` (`t0`..`t6` map to `x5`..`x7`, `x28`..`x31`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 7`.
+    #[inline]
+    pub const fn t(n: u8) -> Reg {
+        assert!(n < 7, "temporary register index out of range");
+        if n < 3 {
+            Reg(5 + n)
+        } else {
+            Reg(28 + (n - 3))
+        }
+    }
+
+    /// Saved register `sN` (`s0`..`s1` map to `x8`..`x9`, `s2`..`s11` to
+    /// `x18`..`x27`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 12`.
+    #[inline]
+    pub const fn s(n: u8) -> Reg {
+        assert!(n < 12, "saved register index out of range");
+        if n < 2 {
+            Reg(8 + n)
+        } else {
+            Reg(18 + (n - 2))
+        }
+    }
+
+    /// Construct a register from its raw unified index.
+    ///
+    /// Returns `None` when `index >= Reg::COUNT`.
+    #[inline]
+    pub const fn from_index(index: u8) -> Option<Reg> {
+        if (index as usize) < Reg::COUNT {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The raw unified index (`0..64`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` when this is the hard-wired zero register `x0`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` for integer registers `x0`..`x31`.
+    #[inline]
+    pub const fn is_int(self) -> bool {
+        self.0 < 32
+    }
+
+    /// `true` for floating-point registers `f0`..`f31`.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Parse a register name: `xN`, `fN`, or an ABI alias.
+    ///
+    /// Returns `None` when the name is not a register.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let numbered = |prefix: &str, max: u8| -> Option<u8> {
+            let rest = name.strip_prefix(prefix)?;
+            let n: u8 = rest.parse().ok()?;
+            (n < max).then_some(n)
+        };
+        if let Some(n) = numbered("x", 32) {
+            return Some(Reg::x(n));
+        }
+        if let Some(n) = numbered("f", 32) {
+            return Some(Reg::f(n));
+        }
+        if let Some(n) = numbered("a", 8) {
+            return Some(Reg::a(n));
+        }
+        if let Some(n) = numbered("t", 7) {
+            return Some(Reg::t(n));
+        }
+        if let Some(n) = numbered("s", 12) {
+            return Some(Reg::s(n));
+        }
+        match name {
+            "zero" => Some(Reg::ZERO),
+            "ra" => Some(Reg::RA),
+            "sp" => Some(Reg::SP),
+            "gp" => Some(Reg::GP),
+            "tp" => Some(Reg(4)),
+            "fp" => Some(Reg(8)),
+            _ => None,
+        }
+    }
+
+    /// Iterator over every register in the unified name space.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "x{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_roundtrip_through_parse() {
+        for reg in Reg::all() {
+            assert_eq!(Reg::parse(&reg.to_string()), Some(reg));
+        }
+    }
+
+    #[test]
+    fn abi_aliases_map_to_documented_indices() {
+        assert_eq!(Reg::parse("zero"), Some(Reg::x(0)));
+        assert_eq!(Reg::parse("ra"), Some(Reg::x(1)));
+        assert_eq!(Reg::parse("sp"), Some(Reg::x(2)));
+        assert_eq!(Reg::parse("gp"), Some(Reg::x(3)));
+        assert_eq!(Reg::parse("tp"), Some(Reg::x(4)));
+        assert_eq!(Reg::parse("fp"), Some(Reg::x(8)));
+        assert_eq!(Reg::parse("a0"), Some(Reg::x(10)));
+        assert_eq!(Reg::parse("a7"), Some(Reg::x(17)));
+        assert_eq!(Reg::parse("t0"), Some(Reg::x(5)));
+        assert_eq!(Reg::parse("t2"), Some(Reg::x(7)));
+        assert_eq!(Reg::parse("t3"), Some(Reg::x(28)));
+        assert_eq!(Reg::parse("t6"), Some(Reg::x(31)));
+        assert_eq!(Reg::parse("s0"), Some(Reg::x(8)));
+        assert_eq!(Reg::parse("s1"), Some(Reg::x(9)));
+        assert_eq!(Reg::parse("s2"), Some(Reg::x(18)));
+        assert_eq!(Reg::parse("s11"), Some(Reg::x(27)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_junk() {
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("f32"), None);
+        assert_eq!(Reg::parse("a8"), None);
+        assert_eq!(Reg::parse("t7"), None);
+        assert_eq!(Reg::parse("s12"), None);
+        assert_eq!(Reg::parse("pc"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse("x-1"), None);
+        assert_eq!(Reg::from_index(64), None);
+    }
+
+    #[test]
+    fn classification_is_consistent() {
+        assert!(Reg::x(31).is_int());
+        assert!(!Reg::x(31).is_float());
+        assert!(Reg::f(0).is_float());
+        assert!(!Reg::f(0).is_int());
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::f(0).is_zero());
+    }
+
+    #[test]
+    fn float_registers_offset_by_32() {
+        for n in 0..32 {
+            assert_eq!(Reg::f(n).index(), 32 + n as usize);
+        }
+    }
+}

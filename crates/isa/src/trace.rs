@@ -1,0 +1,99 @@
+//! Dynamic (executed) instruction records.
+//!
+//! The functional emulator in `cpe-cpu` produces a stream of [`DynInst`]s —
+//! the committed execution path with resolved effective addresses and branch
+//! outcomes. The OS-activity injector in `cpe-workloads` splices
+//! kernel-mode records into the same stream, and the timing model consumes
+//! the result. Keeping the type here lets both crates share it without a
+//! dependency cycle.
+
+use crate::inst::Inst;
+
+/// Privilege mode of an executed instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Application code.
+    #[default]
+    User,
+    /// Operating-system code (trap handlers, scheduler, interrupts).
+    Kernel,
+}
+
+impl Mode {
+    /// `true` for [`Mode::Kernel`].
+    #[inline]
+    pub const fn is_kernel(self) -> bool {
+        matches!(self, Mode::Kernel)
+    }
+}
+
+/// One executed instruction on the committed path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Address the instruction was fetched from.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Effective address for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Whether a conditional branch was taken (`false` for everything
+    /// else).
+    pub taken: bool,
+    /// Address of the next committed instruction.
+    pub next_pc: u64,
+    /// Privilege mode.
+    pub mode: Mode,
+}
+
+impl DynInst {
+    /// Bytes accessed by this instruction's memory reference (0 when it is
+    /// not a memory instruction).
+    pub fn mem_bytes(&self) -> u64 {
+        self.inst.op.mem_width().map_or(0, |w| w.bytes())
+    }
+
+    /// `true` when control did not fall through to `pc + 4`.
+    pub fn diverted(&self) -> bool {
+        self.next_pc != self.pc.wrapping_add(crate::program::INST_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    fn dyn_inst(inst: Inst, pc: u64, next_pc: u64) -> DynInst {
+        DynInst {
+            pc,
+            inst,
+            mem_addr: None,
+            taken: false,
+            next_pc,
+            mode: Mode::User,
+        }
+    }
+
+    #[test]
+    fn mem_bytes_follow_the_opcode() {
+        let load = dyn_inst(Inst::load(Op::Lw, Reg::x(1), Reg::SP, 0), 0x1000, 0x1004);
+        assert_eq!(load.mem_bytes(), 4);
+        let alu = dyn_inst(Inst::nop(), 0x1000, 0x1004);
+        assert_eq!(alu.mem_bytes(), 0);
+    }
+
+    #[test]
+    fn divergence_detection() {
+        assert!(!dyn_inst(Inst::nop(), 0x1000, 0x1004).diverted());
+        assert!(dyn_inst(Inst::nop(), 0x1000, 0x2000).diverted());
+        assert!(dyn_inst(Inst::nop(), 0x1000, 0x1000).diverted());
+    }
+
+    #[test]
+    fn kernel_mode_flag() {
+        assert!(Mode::Kernel.is_kernel());
+        assert!(!Mode::User.is_kernel());
+        assert_eq!(Mode::default(), Mode::User);
+    }
+}

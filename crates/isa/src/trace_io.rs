@@ -1,0 +1,262 @@
+//! Binary serialisation of [`DynInst`] streams.
+//!
+//! Functional execution is cheap but not free; long traces (or traces
+//! produced by external tools) can be recorded once and replayed through
+//! the timing model many times. The format is a fixed little-endian
+//! record stream with a magic/version header — no external dependencies.
+//!
+//! ```text
+//! header : "CPET" u8×4, version u32
+//! record : flags u8           bit0 = taken, bit1 = kernel, bit2 = has mem_addr
+//!          pc u64, inst u64 (the binary encoding), next_pc u64
+//!          [mem_addr u64]     present when bit2 set
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::encode::{decode, encode, DecodeError};
+use crate::trace::{DynInst, Mode};
+
+const MAGIC: [u8; 4] = *b"CPET";
+const VERSION: u32 = 1;
+
+const FLAG_TAKEN: u8 = 1 << 0;
+const FLAG_KERNEL: u8 = 1 << 1;
+const FLAG_MEM: u8 = 1 << 2;
+
+/// A trace-file failure.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header is missing or from a different format/version.
+    BadHeader,
+    /// A record's instruction word failed to decode.
+    BadInst(DecodeError),
+    /// A record carried undefined flag bits.
+    BadFlags(u8),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(error) => write!(f, "trace i/o failed: {error}"),
+            TraceIoError::BadHeader => f.write_str("not a cpe trace file (bad magic/version)"),
+            TraceIoError::BadInst(error) => write!(f, "corrupt trace record: {error}"),
+            TraceIoError::BadFlags(flags) => {
+                write!(f, "corrupt trace record: undefined flags {flags:#04x}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(error: io::Error) -> TraceIoError {
+        TraceIoError::Io(error)
+    }
+}
+
+/// Write a trace header followed by every record of `trace`.
+///
+/// Returns the number of records written.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_trace<W, I>(mut writer: W, trace: I) -> Result<u64, TraceIoError>
+where
+    W: Write,
+    I: IntoIterator<Item = DynInst>,
+{
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let mut written = 0;
+    for di in trace {
+        let mut flags = 0u8;
+        if di.taken {
+            flags |= FLAG_TAKEN;
+        }
+        if di.mode.is_kernel() {
+            flags |= FLAG_KERNEL;
+        }
+        if di.mem_addr.is_some() {
+            flags |= FLAG_MEM;
+        }
+        writer.write_all(&[flags])?;
+        writer.write_all(&di.pc.to_le_bytes())?;
+        writer.write_all(&encode(&di.inst).to_le_bytes())?;
+        writer.write_all(&di.next_pc.to_le_bytes())?;
+        if let Some(addr) = di.mem_addr {
+            writer.write_all(&addr.to_le_bytes())?;
+        }
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// An iterator decoding records from a reader.
+///
+/// Yields `Err` once on the first malformed record, then ends.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    reader: R,
+    failed: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Validate the header and position the reader at the first record.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::BadHeader`] when the magic or version mismatch.
+    pub fn new(mut reader: R) -> Result<TraceReader<R>, TraceIoError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        let mut version = [0u8; 4];
+        reader.read_exact(&mut version)?;
+        if magic != MAGIC || u32::from_le_bytes(version) != VERSION {
+            return Err(TraceIoError::BadHeader);
+        }
+        Ok(TraceReader {
+            reader,
+            failed: false,
+        })
+    }
+
+    fn read_u64(&mut self) -> io::Result<u64> {
+        let mut bytes = [0u8; 8];
+        self.reader.read_exact(&mut bytes)?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn read_record(&mut self) -> Result<Option<DynInst>, TraceIoError> {
+        let mut flags = [0u8; 1];
+        match self.reader.read_exact(&mut flags) {
+            Ok(()) => {}
+            Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(error) => return Err(error.into()),
+        }
+        let flags = flags[0];
+        if flags & !(FLAG_TAKEN | FLAG_KERNEL | FLAG_MEM) != 0 {
+            return Err(TraceIoError::BadFlags(flags));
+        }
+        let pc = self.read_u64()?;
+        let word = self.read_u64()?;
+        let next_pc = self.read_u64()?;
+        let mem_addr = if flags & FLAG_MEM != 0 {
+            Some(self.read_u64()?)
+        } else {
+            None
+        };
+        let inst = decode(word).map_err(TraceIoError::BadInst)?;
+        Ok(Some(DynInst {
+            pc,
+            inst,
+            mem_addr,
+            taken: flags & FLAG_TAKEN != 0,
+            next_pc,
+            mode: if flags & FLAG_KERNEL != 0 {
+                Mode::Kernel
+            } else {
+                Mode::User
+            },
+        }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<DynInst, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(di)) => Some(Ok(di)),
+            Ok(None) => None,
+            Err(error) => {
+                self.failed = true;
+                Some(Err(error))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::emu::Emulator;
+
+    fn sample_trace() -> Vec<DynInst> {
+        let program = assemble(
+            ".data\nv: .quad 1, 2, 3\n.text\nmain: la t0, v\n ld a0, 0(t0)\n sd a0, 16(t0)\n li t1, 2\nloop: addi t1, t1, -1\n bnez t1, loop\n halt\n",
+        )
+        .unwrap();
+        Emulator::new(program).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_record() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        let written = write_trace(&mut buffer, trace.iter().copied()).unwrap();
+        assert_eq!(written as usize, trace.len());
+        let back: Vec<DynInst> = TraceReader::new(buffer.as_slice())
+            .unwrap()
+            .map(|record| record.unwrap())
+            .collect();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn kernel_mode_and_flags_roundtrip() {
+        let mut di = sample_trace()[1];
+        di.mode = Mode::Kernel;
+        di.taken = true;
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, [di]).unwrap();
+        let back = TraceReader::new(buffer.as_slice())
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, di);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buffer = b"NOPE\x01\x00\x00\x00".to_vec();
+        assert!(matches!(
+            TraceReader::new(buffer.as_slice()),
+            Err(TraceIoError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn truncated_records_surface_as_errors() {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, sample_trace()).unwrap();
+        buffer.truncate(buffer.len() - 3);
+        let results: Vec<_> = TraceReader::new(buffer.as_slice()).unwrap().collect();
+        assert!(
+            results.last().unwrap().is_err(),
+            "truncation must not pass silently"
+        );
+        // And the iterator fuses after the error.
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn undefined_flag_bits_are_rejected() {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, [sample_trace()[0]]).unwrap();
+        buffer[8] |= 0x80; // first record's flags byte
+        let results: Vec<_> = TraceReader::new(buffer.as_slice()).unwrap().collect();
+        assert!(matches!(results[0], Err(TraceIoError::BadFlags(_))));
+    }
+}

@@ -1,0 +1,49 @@
+//! Robustness: the assembler returns errors, never panics, for arbitrary
+//! input — including near-miss programs built from real syntax fragments.
+
+use cpe_isa::asm::assemble;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Arbitrary bytes-as-text never panic the assembler.
+    #[test]
+    fn arbitrary_text_never_panics(source in ".{0,200}") {
+        let _ = assemble(&source);
+    }
+
+    /// Near-miss programs: random sequences of plausible tokens.
+    #[test]
+    fn plausible_token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "add", "ld", "sd", "beq", "halt", "li", "la", "jalr", ".data", ".text",
+                ".word", ".space", "a0", "t0", "sp", "zero", "f0", "main", "loop", ":",
+                ",", "(", ")", "0", "-8", "4096", "0x10", "1.5", "#c",
+            ]),
+            0..40,
+        ),
+        newlines in prop::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let mut source = String::new();
+        for (token, newline) in tokens.iter().zip(newlines.iter().chain(std::iter::repeat(&false))) {
+            source.push_str(token);
+            source.push(if *newline { '\n' } else { ' ' });
+        }
+        let _ = assemble(&source);
+    }
+
+    /// Valid programs with one corrupted character still never panic.
+    #[test]
+    fn single_character_corruption_never_panics(position in 0usize..120, replacement in any::<char>()) {
+        let mut source = String::from(
+            ".data\nv: .quad 1, 2\n.text\nmain: la t0, v\n ld a0, 0(t0)\n addi a0, a0, 1\n bnez a0, main\n halt\n",
+        );
+        if let Some((byte_index, _)) = source.char_indices().nth(position % source.chars().count()) {
+            let mut chars: Vec<char> = source.chars().collect();
+            chars[source[..byte_index].chars().count()] = replacement;
+            source = chars.into_iter().collect();
+        }
+        let _ = assemble(&source);
+    }
+}

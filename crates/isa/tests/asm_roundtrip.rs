@@ -1,0 +1,156 @@
+//! Property test: the disassembly of any canonical instruction assembles
+//! back to the identical instruction.
+//!
+//! This pins the `Display` grammar and the assembler's operand grammar to
+//! each other, so listings produced by `Program`'s `Display` (and the
+//! `cpe asm` CLI) are always valid assembler input.
+
+use cpe_isa::asm::assemble;
+use cpe_isa::{Inst, Op, Reg};
+use proptest::prelude::*;
+
+fn arb_int_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::x)
+}
+
+fn arb_float_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::f)
+}
+
+/// Canonical instructions: unused fields zero, immediates in encodable
+/// range, register banks appropriate to the opcode.
+fn arb_canonical_inst() -> impl Strategy<Value = Inst> {
+    let imm12 = -2048i64..2048;
+    let rrr_ops = prop::sample::select(vec![
+        Op::Add,
+        Op::Sub,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Slt,
+        Op::Sltu,
+        Op::Mul,
+        Op::Div,
+        Op::Rem,
+    ]);
+    let rri_ops = prop::sample::select(vec![
+        Op::Addi,
+        Op::Andi,
+        Op::Ori,
+        Op::Xori,
+        Op::Slli,
+        Op::Srli,
+        Op::Srai,
+        Op::Slti,
+    ]);
+    let load_ops = prop::sample::select(vec![
+        Op::Lb,
+        Op::Lbu,
+        Op::Lh,
+        Op::Lhu,
+        Op::Lw,
+        Op::Lwu,
+        Op::Ld,
+    ]);
+    let store_ops = prop::sample::select(vec![Op::Sb, Op::Sh, Op::Sw, Op::Sd]);
+    let branch_ops =
+        prop::sample::select(vec![Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu, Op::Bgeu]);
+    let fp_rrr = prop::sample::select(vec![Op::Fadd, Op::Fsub, Op::Fmul, Op::Fdiv]);
+    let fp_unary = prop::sample::select(vec![Op::Fsqrt, Op::Fmv]);
+
+    prop_oneof![
+        (rrr_ops, arb_int_reg(), arb_int_reg(), arb_int_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::rrr(op, rd, rs1, rs2)),
+        (rri_ops, arb_int_reg(), arb_int_reg(), imm12.clone())
+            .prop_map(|(op, rd, rs1, imm)| Inst::rri(op, rd, rs1, imm)),
+        (load_ops, arb_int_reg(), arb_int_reg(), imm12.clone())
+            .prop_map(|(op, rd, base, imm)| Inst::load(op, rd, base, imm)),
+        (arb_float_reg(), arb_int_reg(), imm12.clone()).prop_map(|(rd, base, imm)| Inst::load(
+            Op::Fld,
+            rd,
+            base,
+            imm
+        )),
+        (store_ops, arb_int_reg(), arb_int_reg(), imm12.clone())
+            .prop_map(|(op, data, base, imm)| Inst::store(op, data, base, imm)),
+        (arb_float_reg(), arb_int_reg(), imm12.clone()).prop_map(|(data, base, imm)| Inst::store(
+            Op::Fsd,
+            data,
+            base,
+            imm
+        )),
+        (branch_ops, arb_int_reg(), arb_int_reg(), imm12.clone())
+            .prop_map(|(op, rs1, rs2, offset)| Inst::branch(op, rs1, rs2, offset)),
+        (fp_rrr, arb_float_reg(), arb_float_reg(), arb_float_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::rrr(op, rd, rs1, rs2)),
+        (fp_unary, arb_float_reg(), arb_float_reg()).prop_map(|(op, rd, rs1)| Inst {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0
+        }),
+        (arb_float_reg(), arb_int_reg()).prop_map(|(rd, rs1)| Inst {
+            op: Op::Fcvt,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0
+        }),
+        (arb_int_reg(), arb_float_reg()).prop_map(|(rd, rs1)| Inst {
+            op: Op::Fcvtz,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0
+        }),
+        (arb_int_reg(), imm12.clone()).prop_map(|(rd, imm)| Inst::rri(Op::Lui, rd, Reg::ZERO, imm)),
+        (arb_int_reg(), imm12.clone()).prop_map(|(rd, offset)| Inst::jal(rd, offset)),
+        (arb_int_reg(), arb_int_reg(), imm12).prop_map(|(rd, base, imm)| Inst::jalr(rd, base, imm)),
+        Just(Inst::system(Op::Syscall)),
+        Just(Inst::system(Op::Eret)),
+        Just(Inst::system(Op::Halt)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_then_assemble_is_identity(inst in arb_canonical_inst()) {
+        let listing = inst.to_string();
+        let source = format!(".text\n{listing}\n");
+        let program = assemble(&source)
+            .unwrap_or_else(|error| panic!("`{listing}` failed to assemble: {error}"));
+        prop_assert_eq!(program.text.len(), 1, "`{}` expanded unexpectedly", listing);
+        prop_assert_eq!(program.text[0], inst, "`{}` roundtripped wrong", listing);
+    }
+
+    /// Branch displacement display uses an explicit sign; ensure both
+    /// directions parse.
+    #[test]
+    fn signed_branch_offsets_roundtrip(offset in -4096i64..4096) {
+        let inst = Inst::branch(Op::Beq, Reg::x(1), Reg::x(2), offset);
+        let source = format!(".text\n{inst}\n");
+        let program = assemble(&source).expect("assembles");
+        prop_assert_eq!(program.text[0].imm, offset);
+    }
+}
+
+#[test]
+fn whole_listing_roundtrips() {
+    // A complete program's listing (labels, addresses) is not directly
+    // assembler input, but the instruction column is; rebuild a program
+    // from its own instruction Displays.
+    let original =
+        assemble("main: li a0, 3\nloop: addi a0, a0, -1\n sd a0, 8(sp)\n bnez a0, loop\n halt\n")
+            .unwrap();
+    let rebuilt_source: String = original
+        .text
+        .iter()
+        .map(|inst| format!("{inst}\n"))
+        .collect();
+    let rebuilt = assemble(&format!(".text\n{rebuilt_source}")).unwrap();
+    assert_eq!(original.text, rebuilt.text);
+}

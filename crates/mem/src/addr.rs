@@ -1,0 +1,148 @@
+//! Physical addresses and alignment arithmetic.
+
+use std::fmt;
+
+/// A byte address in the simulated physical address space.
+///
+/// All cache structures index with power-of-two block sizes, so the helpers
+/// here take the block size in bytes and assert it is a power of two (debug
+/// builds only — geometry validation happens once at configuration time).
+///
+/// ```
+/// use cpe_mem::Addr;
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.align_down(16).get(), 0x1230);
+/// assert_eq!(a.offset_in(16), 4);
+/// assert!(Addr::new(0x1230).same_block(a, 16));
+/// assert!(!Addr::new(0x1240).same_block(a, 16));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wrap a raw byte address.
+    #[inline]
+    pub const fn new(addr: u64) -> Addr {
+        Addr(addr)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Round down to a multiple of `block` bytes.
+    #[inline]
+    pub fn align_down(self, block: u64) -> Addr {
+        debug_assert!(block.is_power_of_two());
+        Addr(self.0 & !(block - 1))
+    }
+
+    /// Byte offset within the enclosing `block`-byte block.
+    #[inline]
+    pub fn offset_in(self, block: u64) -> u64 {
+        debug_assert!(block.is_power_of_two());
+        self.0 & (block - 1)
+    }
+
+    /// `true` when `self` and `other` fall in the same `block`-byte block.
+    #[inline]
+    pub fn same_block(self, other: Addr, block: u64) -> bool {
+        self.align_down(block) == other.align_down(block)
+    }
+
+    /// `true` when the `bytes`-wide access starting here stays inside one
+    /// `block`-byte block (i.e. does not straddle a boundary).
+    #[inline]
+    pub fn fits_in_block(self, bytes: u64, block: u64) -> bool {
+        bytes <= block && self.offset_in(block) + bytes <= block
+    }
+
+    /// The address advanced by `bytes`.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Addr {
+        Addr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(addr: u64) -> Addr {
+        Addr(addr)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> u64 {
+        addr.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alignment_basics() {
+        let a = Addr::new(0x1037);
+        assert_eq!(a.align_down(32).get(), 0x1020);
+        assert_eq!(a.offset_in(32), 0x17);
+        assert_eq!(a.align_down(1).get(), 0x1037);
+    }
+
+    #[test]
+    fn straddle_detection() {
+        // 8-byte access at offset 28 of a 32-byte block straddles.
+        assert!(!Addr::new(28).fits_in_block(8, 32));
+        assert!(Addr::new(24).fits_in_block(8, 32));
+        assert!(Addr::new(0).fits_in_block(32, 32));
+        assert!(!Addr::new(0).fits_in_block(64, 32));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a: Addr = 0xdead_beefu64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0xdead_beef);
+        assert_eq!(format!("{a}"), "0xdeadbeef");
+        assert_eq!(format!("{a:x}"), "deadbeef");
+    }
+
+    proptest! {
+        #[test]
+        fn align_down_is_idempotent_and_dominated(addr in any::<u64>(), shift in 0u32..16) {
+            let block = 1u64 << shift;
+            let a = Addr::new(addr);
+            let aligned = a.align_down(block);
+            prop_assert_eq!(aligned.align_down(block), aligned);
+            prop_assert!(aligned.get() <= a.get());
+            prop_assert!(a.get() - aligned.get() < block);
+            prop_assert_eq!(aligned.get() + a.offset_in(block), a.get());
+        }
+
+        #[test]
+        fn same_block_is_an_equivalence_on_aligned_reps(x in any::<u64>(), y in any::<u64>(), shift in 0u32..16) {
+            let block = 1u64 << shift;
+            let (a, b) = (Addr::new(x), Addr::new(y));
+            prop_assert_eq!(
+                a.same_block(b, block),
+                a.align_down(block) == b.align_down(block)
+            );
+            prop_assert!(a.same_block(a, block));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The level-one instruction cache.
+//!
+//! The frontend blocks on instruction-cache misses, so a single outstanding
+//! miss suffices; the model keeps the interface to one call per fetch
+//! block.
+
+use crate::cache::{Cache, ProbeResult};
+use crate::config::CacheGeometry;
+use crate::l2::Backside;
+use crate::stats::MemStats;
+use crate::{Addr, Cycle};
+
+/// Outcome of an instruction-block fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Cycle the block's instructions can enter decode. Equal to the
+    /// request cycle on a hit.
+    pub ready_at: Cycle,
+    /// Whether the block hit in the instruction cache.
+    pub hit: bool,
+}
+
+/// Single-ported instruction cache with one outstanding miss.
+#[derive(Debug, Clone)]
+pub struct ICache {
+    cache: Cache,
+    pending: Option<(u64, Cycle)>,
+}
+
+impl ICache {
+    /// A cold instruction cache.
+    pub fn new(geometry: CacheGeometry) -> ICache {
+        ICache {
+            cache: Cache::new(geometry),
+            pending: None,
+        }
+    }
+
+    /// Fetch the block containing `addr` at cycle `now`.
+    pub fn fetch(
+        &mut self,
+        now: Cycle,
+        addr: Addr,
+        backside: &mut Backside,
+        stats: &mut MemStats,
+    ) -> FetchOutcome {
+        stats.fetches.inc();
+        // Install a completed pending fill first.
+        if let Some((line, ready)) = self.pending {
+            if now >= ready {
+                self.cache.fill(Addr::new(line), false);
+                self.pending = None;
+            }
+        }
+        if self.cache.probe(addr, false) == ProbeResult::Hit {
+            stats.icache_hits.inc();
+            return FetchOutcome {
+                ready_at: now,
+                hit: true,
+            };
+        }
+        let line = self.cache.geometry().tag(addr.get());
+        if let Some((pending_line, ready)) = self.pending {
+            if pending_line == line {
+                // Re-request of the in-flight block (the frontend retrying).
+                stats.icache_hits.inc();
+                return FetchOutcome {
+                    ready_at: ready,
+                    hit: false,
+                };
+            }
+            // A different block while one is outstanding: the frontend
+            // changed its mind (branch redirect). Abandon the old fill.
+            self.pending = None;
+        }
+        stats.icache_misses.inc();
+        let ready = backside.fetch_line(now, Addr::new(line), stats);
+        self.pending = Some((line, ready));
+        FetchOutcome {
+            ready_at: ready,
+            hit: false,
+        }
+    }
+
+    /// The tag array (inspection only).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Latencies, MemConfig};
+
+    fn rig() -> (ICache, Backside, MemStats) {
+        let config = MemConfig::default();
+        (
+            ICache::new(config.icache),
+            Backside::new(config.l2, config.latencies),
+            MemStats::default(),
+        )
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let (mut i, mut b, mut s) = rig();
+        let miss = i.fetch(0, Addr::new(0x1000), &mut b, &mut s);
+        assert!(!miss.hit);
+        assert!(miss.ready_at > 0);
+        let hit = i.fetch(miss.ready_at + 1, Addr::new(0x1004), &mut b, &mut s);
+        assert!(hit.hit);
+        assert_eq!(hit.ready_at, miss.ready_at + 1);
+        assert_eq!(s.icache_misses.get(), 1);
+        assert_eq!(s.icache_hits.get(), 1);
+    }
+
+    #[test]
+    fn rerequest_of_inflight_block_returns_same_time() {
+        let (mut i, mut b, mut s) = rig();
+        let miss = i.fetch(0, Addr::new(0x1000), &mut b, &mut s);
+        let again = i.fetch(1, Addr::new(0x1000), &mut b, &mut s);
+        assert_eq!(again.ready_at, miss.ready_at);
+        assert_eq!(s.l2_misses.get(), 1, "no duplicate backside request");
+    }
+
+    #[test]
+    fn redirect_abandons_inflight_fill() {
+        let (mut i, mut b, mut s) = rig();
+        let _ = i.fetch(0, Addr::new(0x1000), &mut b, &mut s);
+        let redirect = i.fetch(1, Addr::new(0x8000), &mut b, &mut s);
+        assert!(!redirect.hit);
+        assert_eq!(s.icache_misses.get(), 2);
+        // The abandoned block is not installed later.
+        let back = i.fetch(redirect.ready_at + 1, Addr::new(0x1000), &mut b, &mut s);
+        assert!(!back.hit);
+    }
+
+    #[test]
+    fn pending_fill_installs_on_any_later_fetch() {
+        let (mut i, mut b, mut s) = rig();
+        let miss = i.fetch(0, Addr::new(0x1000), &mut b, &mut s);
+        // A fetch elsewhere after the fill time must not lose the original
+        // block: the pending fill installs first.
+        let elsewhere = i.fetch(miss.ready_at + 1, Addr::new(0x9000), &mut b, &mut s);
+        assert!(!elsewhere.hit);
+        let back = i.fetch(elsewhere.ready_at + 1, Addr::new(0x1000), &mut b, &mut s);
+        assert!(back.hit, "the first block was installed despite the interleaving");
+    }
+
+    #[test]
+    fn sequential_code_mostly_hits_after_warmup() {
+        let (mut i, mut b, mut s) = rig();
+        // Two passes over 16 blocks of straight-line code.
+        let mut now = 0;
+        for _ in 0..2 {
+            for block in 0..16u64 {
+                let out = i.fetch(now, Addr::new(0x2000 + block * 32), &mut b, &mut s);
+                now = out.ready_at + 1;
+            }
+        }
+        assert_eq!(s.icache_misses.get(), 16, "one cold miss per block");
+        assert_eq!(s.icache_hits.get(), 16, "second pass all hits");
+    }
+
+    #[test]
+    fn icache_and_dcache_share_the_fill_bus() {
+        let (mut i, mut b, mut s) = rig();
+        let lat = Latencies::default();
+        // Occupy the bus with a data-side fill.
+        let data_ready = b.fetch_line(0, Addr::new(0x4000), &mut s);
+        let inst = i.fetch(0, Addr::new(0x1000), &mut b, &mut s);
+        assert_eq!(inst.ready_at, data_ready + lat.fill_interval);
+    }
+}

@@ -1,0 +1,154 @@
+//! The backside of the L1s: unified L2, the shared fill bus, and DRAM.
+
+use crate::cache::{Cache, ProbeResult};
+use crate::config::{CacheGeometry, Latencies};
+use crate::stats::MemStats;
+use crate::{Addr, Cycle};
+
+/// Everything behind the level-one caches.
+///
+/// The model is a latency forecast: when an L1 miss is handed over,
+/// [`Backside::fetch_line`] immediately answers *when* the fill will
+/// arrive, accounting for L2 hit/miss latency and for serialisation on the
+/// fill bus (at most one fill every [`Latencies::fill_interval`] cycles).
+/// Both L1s share this bus, which is how instruction misses and data misses
+/// contend in the model, as they did on the paper's shared L2 interface.
+#[derive(Debug, Clone)]
+pub struct Backside {
+    l2: Cache,
+    latencies: Latencies,
+    bus_free_at: Cycle,
+}
+
+impl Backside {
+    /// A cold backside with the given L2 geometry and latencies.
+    pub fn new(l2: CacheGeometry, latencies: Latencies) -> Backside {
+        Backside {
+            l2: Cache::new(l2),
+            latencies,
+            bus_free_at: 0,
+        }
+    }
+
+    /// Request the line containing `addr` for an L1 fill at cycle `now`.
+    /// Returns the cycle the fill data arrives at the L1.
+    pub fn fetch_line(&mut self, now: Cycle, addr: Addr, stats: &mut MemStats) -> Cycle {
+        let service = match self.l2.probe(addr, false) {
+            ProbeResult::Hit => {
+                stats.l2_hits.inc();
+                self.latencies.l2_hit
+            }
+            ProbeResult::Miss => {
+                stats.l2_misses.inc();
+                // Install in L2 on the way up (inclusive fill).
+                let _victim = self.l2.fill(addr, false);
+                self.latencies.l2_hit + self.latencies.dram
+            }
+        };
+        let start = now.max(self.bus_free_at);
+        self.bus_free_at = start + self.latencies.fill_interval;
+        start + service
+    }
+
+    /// Hand a dirty L1 victim line down at cycle `now`. Writebacks occupy
+    /// the fill bus but complete asynchronously (no one waits on them).
+    pub fn writeback(&mut self, now: Cycle, addr: Addr, stats: &mut MemStats) {
+        stats.writebacks.inc();
+        // The written-back line is (re)installed dirty in L2.
+        self.l2.probe(addr, true);
+        self.l2.fill(addr, true);
+        let start = now.max(self.bus_free_at);
+        self.bus_free_at = start + self.latencies.fill_interval;
+    }
+
+    /// Forward a write-through store's line to L2 at cycle `now`; it
+    /// occupies a fill-bus slot but nobody waits on it.
+    pub fn write_through(&mut self, now: Cycle, addr: Addr, stats: &mut MemStats) {
+        stats.write_throughs.inc();
+        self.l2.probe(addr, true);
+        self.l2.fill(addr, true);
+        let start = now.max(self.bus_free_at);
+        self.bus_free_at = start + self.latencies.fill_interval;
+    }
+
+    /// The L2 tag array (for inspection in tests and reports).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The earliest cycle the fill bus is next free.
+    pub fn bus_free_at(&self) -> Cycle {
+        self.bus_free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backside() -> (Backside, MemStats) {
+        (
+            Backside::new(CacheGeometry::new(1024, 2, 64), Latencies::default()),
+            MemStats::default(),
+        )
+    }
+
+    #[test]
+    fn cold_miss_pays_dram_then_l2_hit_is_cheap() {
+        let (mut b, mut stats) = backside();
+        let lat = Latencies::default();
+        let first = b.fetch_line(100, Addr::new(0x1000), &mut stats);
+        assert_eq!(first, 100 + lat.l2_hit + lat.dram);
+        assert_eq!(stats.l2_misses.get(), 1);
+        // Far in the future, the same line hits in L2.
+        let second = b.fetch_line(1000, Addr::new(0x1000), &mut stats);
+        assert_eq!(second, 1000 + lat.l2_hit);
+        assert_eq!(stats.l2_hits.get(), 1);
+    }
+
+    #[test]
+    fn fill_bus_serialises_back_to_back_fills() {
+        let (mut b, mut stats) = backside();
+        let lat = Latencies::default();
+        let a = b.fetch_line(0, Addr::new(0x0), &mut stats);
+        let c = b.fetch_line(0, Addr::new(0x1000), &mut stats);
+        assert_eq!(
+            c - a,
+            lat.fill_interval,
+            "second fill starts one bus slot later"
+        );
+    }
+
+    #[test]
+    fn same_line_same_cycle_still_serialises_on_the_bus() {
+        // The MSHR file normally merges these; if it did not, the second
+        // request hits the freshly installed L2 line (cheap) but still
+        // occupies its own bus slot.
+        let (mut b, mut stats) = backside();
+        let lat = Latencies::default();
+        let _ = b.fetch_line(0, Addr::new(0x40), &mut stats);
+        assert_eq!(b.bus_free_at(), lat.fill_interval);
+        let c = b.fetch_line(0, Addr::new(0x40), &mut stats);
+        assert_eq!(b.bus_free_at(), 2 * lat.fill_interval);
+        assert_eq!(
+            c,
+            lat.fill_interval + lat.l2_hit,
+            "second request is an L2 hit"
+        );
+    }
+
+    #[test]
+    fn writebacks_occupy_the_bus_and_dirty_l2() {
+        let (mut b, mut stats) = backside();
+        b.writeback(10, Addr::new(0x2000), &mut stats);
+        assert_eq!(stats.writebacks.get(), 1);
+        assert!(b.bus_free_at() > 10);
+        assert!(b.l2().contains(Addr::new(0x2000)));
+        // A fill right after the writeback waits for the bus.
+        let ready = b.fetch_line(10, Addr::new(0x2000), &mut stats);
+        assert_eq!(
+            ready,
+            b.bus_free_at() - Latencies::default().fill_interval + Latencies::default().l2_hit
+        );
+    }
+}

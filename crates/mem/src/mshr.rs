@@ -1,0 +1,174 @@
+//! Miss-status holding registers (lockup-free cache support).
+
+use crate::Cycle;
+
+/// Outcome of asking the MSHR file to track a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrResult {
+    /// A miss to this line is already outstanding; the new reference merged
+    /// into it and will complete at the given cycle.
+    Merged(Cycle),
+    /// A new entry was allocated, completing at the given cycle.
+    Allocated(Cycle),
+    /// No entry free — the reference must retry.
+    Full,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MshrEntry {
+    line_addr: u64,
+    ready_at: Cycle,
+    /// Fill installs dirty (a store missed and its data is parked here).
+    dirty: bool,
+}
+
+/// The file of outstanding misses for one cache.
+///
+/// Entries are allocated when a miss leaves for the next level, merged when
+/// further references touch the same line, and retired by
+/// [`MshrFile::take_completed`] once their fill has arrived.
+///
+/// ```
+/// use cpe_mem::{MshrFile, MshrResult};
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.request(0x100, 20, false), MshrResult::Allocated(20));
+/// assert_eq!(mshrs.request(0x100, 25, true), MshrResult::Merged(20));
+/// assert_eq!(mshrs.request(0x200, 22, false), MshrResult::Allocated(22));
+/// assert_eq!(mshrs.request(0x300, 23, false), MshrResult::Full);
+/// let done = mshrs.take_completed(20);
+/// assert_eq!(done, vec![(0x100, true)]); // dirty: the merged store's data
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    merges: u64,
+}
+
+impl MshrFile {
+    /// An empty file with room for `capacity` outstanding lines.
+    pub fn new(capacity: usize) -> MshrFile {
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+        }
+    }
+
+    /// Track a miss to `line_addr` whose fill would arrive at `fill_at`.
+    ///
+    /// When the line is already outstanding the reference merges (the
+    /// earlier fill time stands, and `write` marks the eventual fill
+    /// dirty). `fill_at` is ignored on a merge — callers get the
+    /// authoritative completion cycle in the result.
+    pub fn request(&mut self, line_addr: u64, fill_at: Cycle, write: bool) -> MshrResult {
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.line_addr == line_addr) {
+            entry.dirty |= write;
+            self.merges += 1;
+            return MshrResult::Merged(entry.ready_at);
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrResult::Full;
+        }
+        self.entries.push(MshrEntry {
+            line_addr,
+            ready_at: fill_at,
+            dirty: write,
+        });
+        MshrResult::Allocated(fill_at)
+    }
+
+    /// The completion cycle of an outstanding miss to `line_addr`, if any.
+    pub fn lookup(&self, line_addr: u64) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| e.ready_at)
+    }
+
+    /// Retire every entry whose fill has arrived by `now`, returning
+    /// `(line_addr, dirty)` pairs for the caller to install.
+    pub fn take_completed(&mut self, now: Cycle) -> Vec<(u64, bool)> {
+        let mut done = Vec::new();
+        self.entries.retain(|e| {
+            if e.ready_at <= now {
+                done.push((e.line_addr, e.dirty));
+                false
+            } else {
+                true
+            }
+        });
+        // Install in arrival order for deterministic victim selection.
+        done.sort_by_key(|&(line, _)| line);
+        done
+    }
+
+    /// Outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no further line can be tracked.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Total number of merged (secondary) references.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_retire_cycle() {
+        let mut m = MshrFile::new(4);
+        assert!(m.is_empty());
+        assert_eq!(m.request(0x40, 10, false), MshrResult::Allocated(10));
+        assert_eq!(m.lookup(0x40), Some(10));
+        assert_eq!(m.request(0x40, 99, false), MshrResult::Merged(10));
+        assert_eq!(m.merges(), 1);
+        assert!(m.take_completed(9).is_empty());
+        assert_eq!(m.take_completed(10), vec![(0x40, false)]);
+        assert!(m.is_empty());
+        assert_eq!(m.lookup(0x40), None);
+    }
+
+    #[test]
+    fn full_rejects_new_lines_but_still_merges() {
+        let mut m = MshrFile::new(1);
+        m.request(0x40, 10, false);
+        assert!(m.is_full());
+        assert_eq!(m.request(0x80, 10, false), MshrResult::Full);
+        assert_eq!(m.request(0x40, 50, true), MshrResult::Merged(10));
+    }
+
+    #[test]
+    fn write_merges_dirty_the_fill() {
+        let mut m = MshrFile::new(2);
+        m.request(0x40, 10, false);
+        m.request(0x40, 12, true);
+        m.request(0x80, 11, true);
+        let done = m.take_completed(20);
+        assert_eq!(done, vec![(0x40, true), (0x80, true)]);
+    }
+
+    #[test]
+    fn retirement_is_selective() {
+        let mut m = MshrFile::new(4);
+        m.request(0x40, 10, false);
+        m.request(0x80, 20, false);
+        assert_eq!(m.take_completed(15), vec![(0x40, false)]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(0x80), Some(20));
+    }
+}

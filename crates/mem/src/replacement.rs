@@ -1,0 +1,146 @@
+//! Within-set replacement policies.
+
+use std::fmt;
+
+/// Which line a set evicts when it needs room.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way.
+    #[default]
+    Lru,
+    /// Evict ways in allocation order, ignoring use.
+    Fifo,
+    /// Evict a pseudo-random way (deterministic xorshift stream, so runs
+    /// are reproducible).
+    Random,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Random => "random",
+        })
+    }
+}
+
+/// Per-set replacement state: a priority stamp per way plus the policy's
+/// clock.
+#[derive(Debug, Clone)]
+pub(crate) struct SetReplacement {
+    policy: ReplacementPolicy,
+    /// Monotone stamps; smaller = evict earlier (for LRU/FIFO).
+    stamps: Vec<u64>,
+    clock: u64,
+    rng: u64,
+}
+
+impl SetReplacement {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: usize, seed: u64) -> SetReplacement {
+        SetReplacement {
+            policy,
+            stamps: vec![0; ways],
+            clock: 0,
+            // xorshift state must be nonzero.
+            rng: seed | 1,
+        }
+    }
+
+    /// Record an allocation into `way`.
+    pub(crate) fn on_fill(&mut self, way: usize) {
+        self.clock += 1;
+        self.stamps[way] = self.clock;
+    }
+
+    /// Record a hit on `way`.
+    pub(crate) fn on_hit(&mut self, way: usize) {
+        if self.policy == ReplacementPolicy::Lru {
+            self.clock += 1;
+            self.stamps[way] = self.clock;
+        }
+    }
+
+    /// Choose a victim among the valid ways (all ways full).
+    pub(crate) fn victim(&mut self) -> usize {
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self
+                .stamps
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, stamp)| *stamp)
+                .map(|(way, _)| way)
+                .expect("sets have at least one way"),
+            ReplacementPolicy::Random => {
+                // xorshift64
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                (self.rng % self.stamps.len() as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut set = SetReplacement::new(ReplacementPolicy::Lru, 4, 1);
+        for way in 0..4 {
+            set.on_fill(way);
+        }
+        set.on_hit(0); // way 0 becomes most recent; way 1 is now oldest
+        assert_eq!(set.victim(), 1);
+        set.on_hit(1);
+        assert_eq!(set.victim(), 2);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut set = SetReplacement::new(ReplacementPolicy::Fifo, 4, 1);
+        for way in 0..4 {
+            set.on_fill(way);
+        }
+        set.on_hit(0);
+        set.on_hit(0);
+        assert_eq!(
+            set.victim(),
+            0,
+            "FIFO must evict the oldest fill despite hits"
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let mut a = SetReplacement::new(ReplacementPolicy::Random, 4, 42);
+        let mut b = SetReplacement::new(ReplacementPolicy::Random, 4, 42);
+        for _ in 0..100 {
+            let (va, vb) = (a.victim(), b.victim());
+            assert_eq!(va, vb);
+            assert!(va < 4);
+        }
+    }
+
+    #[test]
+    fn random_eventually_covers_all_ways() {
+        let mut set = SetReplacement::new(ReplacementPolicy::Random, 4, 7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[set.victim()] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all ways should be chosen eventually"
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(ReplacementPolicy::Random.to_string(), "random");
+    }
+}

@@ -1,0 +1,188 @@
+//! Memory-system statistics.
+
+use cpe_stats::{Counter, Histogram, Ratio};
+
+/// Every counter the memory hierarchy maintains.
+///
+/// The benchmark harness turns these into the paper's port-utilisation and
+/// miss-rate tables; the field groups mirror the techniques under study.
+#[derive(Debug, Clone)]
+pub struct MemStats {
+    // --- Demand references -------------------------------------------------
+    /// Loads successfully initiated (each architectural load counts once).
+    pub loads: Counter,
+    /// Stores accepted (buffered or written directly).
+    pub stores: Counter,
+    /// Instruction-fetch block accesses.
+    pub fetches: Counter,
+
+    // --- Where loads were satisfied ----------------------------------------
+    /// Loads forwarded from the post-commit store buffer (no port).
+    pub load_sb_forwards: Counter,
+    /// Loads satisfied by a line buffer (no port).
+    pub load_lb_hits: Counter,
+    /// Loads that shared another load's port access this cycle.
+    pub load_combined: Counter,
+    /// Loads that took a port and hit in L1.
+    pub load_l1_hits: Counter,
+    /// Loads that took a port and merged into an outstanding miss.
+    pub load_miss_merged: Counter,
+    /// Loads that took a port and started a new miss.
+    pub load_misses: Counter,
+
+    // --- Rejections (the CPU retries these next cycle) ---------------------
+    /// Load attempts rejected because every port slot was taken.
+    pub load_no_port: Counter,
+    /// Load attempts rejected because the MSHR file was full.
+    pub load_mshr_full: Counter,
+    /// Load attempts rejected by a partial store-buffer overlap.
+    pub load_sb_conflicts: Counter,
+    /// Store commits rejected (buffer full, or no port when unbuffered).
+    pub store_rejected: Counter,
+    /// Accesses rejected by an intra-cycle bank conflict (banked caches).
+    pub bank_conflicts: Counter,
+
+    // --- Store path ----------------------------------------------------------
+    /// Stores that merged into an existing store-buffer entry.
+    pub store_combined: Counter,
+    /// Store-buffer entries drained through idle port slots.
+    pub store_drains: Counter,
+    /// Drained/direct stores that hit in L1.
+    pub store_l1_hits: Counter,
+    /// Drained/direct stores that missed (allocated or merged an MSHR).
+    pub store_misses: Counter,
+
+    // --- Port accounting ------------------------------------------------------
+    /// Port slots consumed (loads + drained stores).
+    pub port_slots_used: Counter,
+    /// Port slots offered (ports × cycles).
+    pub port_slots_offered: Counter,
+    /// Distribution of slots used per cycle.
+    pub slots_per_cycle: Histogram,
+
+    // --- Hierarchy ------------------------------------------------------------
+    /// Dirty L1 lines written back on eviction.
+    pub writebacks: Counter,
+    /// L1-miss fills that hit in L2.
+    pub l2_hits: Counter,
+    /// L1-miss fills that went to DRAM.
+    pub l2_misses: Counter,
+    /// Instruction-cache hits.
+    pub icache_hits: Counter,
+    /// Instruction-cache misses.
+    pub icache_misses: Counter,
+    /// Next-line prefetches issued.
+    pub prefetches: Counter,
+    /// Prefetched lines later touched by a demand access before eviction.
+    pub prefetch_useful: Counter,
+    /// L1 misses satisfied by the victim cache (swapped back in).
+    pub victim_hits: Counter,
+    /// Stores forwarded to L2 under the write-through policy.
+    pub write_throughs: Counter,
+}
+
+impl MemStats {
+    /// Zeroed statistics tracking up to `max_slots` port slots per cycle in
+    /// the per-cycle histogram.
+    pub fn new(max_slots: usize) -> MemStats {
+        MemStats {
+            loads: Counter::new(),
+            stores: Counter::new(),
+            fetches: Counter::new(),
+            load_sb_forwards: Counter::new(),
+            load_lb_hits: Counter::new(),
+            load_combined: Counter::new(),
+            load_l1_hits: Counter::new(),
+            load_miss_merged: Counter::new(),
+            load_misses: Counter::new(),
+            load_no_port: Counter::new(),
+            load_mshr_full: Counter::new(),
+            load_sb_conflicts: Counter::new(),
+            store_rejected: Counter::new(),
+            bank_conflicts: Counter::new(),
+            store_combined: Counter::new(),
+            store_drains: Counter::new(),
+            store_l1_hits: Counter::new(),
+            store_misses: Counter::new(),
+            port_slots_used: Counter::new(),
+            port_slots_offered: Counter::new(),
+            slots_per_cycle: Histogram::new(max_slots),
+            writebacks: Counter::new(),
+            l2_hits: Counter::new(),
+            l2_misses: Counter::new(),
+            icache_hits: Counter::new(),
+            icache_misses: Counter::new(),
+            prefetches: Counter::new(),
+            prefetch_useful: Counter::new(),
+            victim_hits: Counter::new(),
+            write_throughs: Counter::new(),
+        }
+    }
+
+    /// Fraction of offered port slots actually used.
+    pub fn port_utilisation(&self) -> Ratio {
+        self.port_slots_used.ratio(self.port_slots_offered)
+    }
+
+    /// Fraction of loads satisfied without consuming a port (line buffer,
+    /// combining, or store-buffer forward).
+    pub fn portless_load_fraction(&self) -> Ratio {
+        let portless =
+            self.load_sb_forwards.get() + self.load_lb_hits.get() + self.load_combined.get();
+        Ratio::new(portless, self.loads.get())
+    }
+
+    /// Data-cache load miss ratio (new misses / loads that reached the
+    /// cache port).
+    pub fn load_miss_ratio(&self) -> Ratio {
+        let port_loads =
+            self.load_l1_hits.get() + self.load_miss_merged.get() + self.load_misses.get();
+        Ratio::new(self.load_misses.get(), port_loads)
+    }
+
+    /// Total demand data references accepted.
+    pub fn data_refs(&self) -> u64 {
+        self.loads.get() + self.stores.get()
+    }
+}
+
+impl Default for MemStats {
+    fn default() -> MemStats {
+        MemStats::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = MemStats::new(2);
+        s.loads.add(100);
+        s.load_lb_hits.add(25);
+        s.load_combined.add(5);
+        s.load_sb_forwards.add(10);
+        s.port_slots_used.add(60);
+        s.port_slots_offered.add(100);
+        assert_eq!(s.portless_load_fraction().percent(), 40.0);
+        assert_eq!(s.port_utilisation().percent(), 60.0);
+    }
+
+    #[test]
+    fn miss_ratio_counts_only_port_loads() {
+        let mut s = MemStats::new(2);
+        s.load_l1_hits.add(90);
+        s.load_misses.add(10);
+        s.load_lb_hits.add(100); // must not dilute the ratio
+        assert_eq!(s.load_miss_ratio().percent(), 10.0);
+    }
+
+    #[test]
+    fn zeroed_stats_are_safe() {
+        let s = MemStats::default();
+        assert_eq!(s.port_utilisation().percent(), 0.0);
+        assert_eq!(s.portless_load_fraction().percent(), 0.0);
+        assert_eq!(s.data_refs(), 0);
+    }
+}

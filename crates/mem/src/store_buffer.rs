@@ -1,0 +1,330 @@
+//! The post-commit store buffer with write combining.
+//!
+//! Committed stores park here instead of demanding a cache port in their
+//! commit cycle; they drain through whatever port slots loads leave idle
+//! (see [`crate::DCache`]). With combining enabled, stores falling in the
+//! same aligned chunk merge into a single entry — and hence a single port
+//! access — which is the paper's second buffering lever.
+
+use std::collections::VecDeque;
+
+use crate::Addr;
+
+/// How a load's bytes relate to the buffered stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No buffered store touches the load's bytes.
+    None,
+    /// One entry covers every byte of the load — data can be forwarded.
+    Full,
+    /// Buffered stores overlap the load only partially; the load must wait
+    /// for the buffer to drain past them.
+    Partial,
+}
+
+/// One buffered (possibly merged) store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Chunk-aligned address the entry writes.
+    pub chunk_addr: u64,
+    /// Bitmask of written bytes within the chunk (bit *i* = byte *i*).
+    pub mask: u64,
+    /// How many architectural stores merged into this entry.
+    pub merged: u32,
+}
+
+/// FIFO of committed stores awaiting idle port slots.
+///
+/// ```
+/// use cpe_mem::{StoreBuffer, Addr};
+///
+/// let mut sb = StoreBuffer::new(4, true, 16);
+/// assert!(sb.push(Addr::new(0x100), 8));
+/// assert!(sb.push(Addr::new(0x108), 8)); // combines: same 16B chunk
+/// assert_eq!(sb.len(), 1);
+/// assert_eq!(sb.combined(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: VecDeque<StoreEntry>,
+    capacity: usize,
+    combining: bool,
+    chunk_bytes: u64,
+    combined: u64,
+    pushed: u64,
+}
+
+impl StoreBuffer {
+    /// A buffer of `capacity` entries writing `chunk_bytes`-wide (a power
+    /// of two) port accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_bytes` is not a power of two.
+    pub fn new(capacity: usize, combining: bool, chunk_bytes: u64) -> StoreBuffer {
+        assert!(
+            chunk_bytes.is_power_of_two(),
+            "chunk size must be a power of two"
+        );
+        assert!(chunk_bytes <= 64, "byte masks are 64 bits wide");
+        StoreBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            combining,
+            chunk_bytes,
+            combined: 0,
+            pushed: 0,
+        }
+    }
+
+    fn mask_for(&self, addr: Addr, bytes: u64) -> (u64, u64) {
+        let chunk = addr.align_down(self.chunk_bytes).get();
+        let offset = addr.offset_in(self.chunk_bytes);
+        let count = bytes.min(self.chunk_bytes - offset);
+        let mask = if count >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << count) - 1) << offset
+        };
+        (chunk, mask)
+    }
+
+    /// Buffer a committed store of `bytes` at `addr`. Returns `false` when
+    /// the buffer is full (the commit stage must stall and retry).
+    ///
+    /// A store that straddles a chunk boundary occupies two entries; it is
+    /// rejected unless both fit.
+    pub fn push(&mut self, addr: Addr, bytes: u64) -> bool {
+        let mut pieces = [(0u64, 0u64); 2];
+        let mut n = 0;
+        let (chunk, mask) = self.mask_for(addr, bytes);
+        pieces[n] = (chunk, mask);
+        n += 1;
+        let first_bytes = self.chunk_bytes - addr.offset_in(self.chunk_bytes);
+        if bytes > first_bytes {
+            let rest = bytes - first_bytes;
+            let (chunk2, mask2) = self.mask_for(Addr::new(chunk + self.chunk_bytes), rest);
+            pieces[n] = (chunk2, mask2);
+            n += 1;
+        }
+
+        // First pass: how many new entries are needed?
+        let mut new_needed = 0;
+        for &(chunk, _) in &pieces[..n] {
+            let merges = self.combining && self.entries.iter().any(|e| e.chunk_addr == chunk);
+            if !merges {
+                new_needed += 1;
+            }
+        }
+        if self.entries.len() + new_needed > self.capacity {
+            return false;
+        }
+        for &(chunk, mask) in &pieces[..n] {
+            if self.combining {
+                if let Some(entry) = self.entries.iter_mut().find(|e| e.chunk_addr == chunk) {
+                    entry.mask |= mask;
+                    entry.merged += 1;
+                    self.combined += 1;
+                    continue;
+                }
+            }
+            self.entries.push_back(StoreEntry {
+                chunk_addr: chunk,
+                mask,
+                merged: 1,
+            });
+        }
+        self.pushed += 1;
+        true
+    }
+
+    /// Can a load of `bytes` at `addr` be forwarded from the buffer?
+    pub fn forward(&self, addr: Addr, bytes: u64) -> ForwardResult {
+        let start = addr.get();
+        let end = start + bytes;
+        let mut any_overlap = false;
+        for entry in &self.entries {
+            let chunk_end = entry.chunk_addr + self.chunk_bytes;
+            if entry.chunk_addr >= end || chunk_end <= start {
+                continue;
+            }
+            // Build the load's byte mask within this chunk.
+            let lo = start.max(entry.chunk_addr) - entry.chunk_addr;
+            let hi = end.min(chunk_end) - entry.chunk_addr;
+            let count = hi - lo;
+            let need = if count >= 64 {
+                u64::MAX
+            } else {
+                ((1u64 << count) - 1) << lo
+            };
+            if entry.mask & need != 0 {
+                any_overlap = true;
+                // Full coverage only counts when the whole load sits in
+                // this one chunk and every byte is written.
+                if start >= entry.chunk_addr && end <= chunk_end && entry.mask & need == need {
+                    return ForwardResult::Full;
+                }
+            }
+        }
+        if any_overlap {
+            ForwardResult::Partial
+        } else {
+            ForwardResult::None
+        }
+    }
+
+    /// The oldest entry, without removing it.
+    pub fn peek(&self) -> Option<&StoreEntry> {
+        self.entries.front()
+    }
+
+    /// Remove and return the oldest entry (it is being written to the
+    /// cache through a port slot).
+    pub fn pop(&mut self) -> Option<StoreEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no further store can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime count of stores that merged into an existing entry.
+    pub fn combined(&self) -> u64 {
+        self.combined
+    }
+
+    /// Lifetime count of stores accepted.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn capacity_zero_rejects_everything() {
+        let mut sb = StoreBuffer::new(0, true, 16);
+        assert!(!sb.push(Addr::new(0x100), 8));
+        assert!(sb.is_full());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut sb = StoreBuffer::new(4, false, 16);
+        sb.push(Addr::new(0x100), 8);
+        sb.push(Addr::new(0x200), 8);
+        assert_eq!(sb.pop().unwrap().chunk_addr, 0x100);
+        assert_eq!(sb.pop().unwrap().chunk_addr, 0x200);
+        assert!(sb.pop().is_none());
+    }
+
+    #[test]
+    fn combining_merges_same_chunk_only_when_enabled() {
+        let mut sb = StoreBuffer::new(4, true, 16);
+        sb.push(Addr::new(0x100), 8);
+        sb.push(Addr::new(0x108), 8);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.peek().unwrap().mask, 0xffff);
+        assert_eq!(sb.peek().unwrap().merged, 2);
+
+        let mut sb = StoreBuffer::new(4, false, 16);
+        sb.push(Addr::new(0x100), 8);
+        sb.push(Addr::new(0x108), 8);
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.combined(), 0);
+    }
+
+    #[test]
+    fn straddling_store_occupies_two_entries() {
+        let mut sb = StoreBuffer::new(4, false, 16);
+        assert!(sb.push(Addr::new(0x10c), 8)); // bytes 0x10c..0x114
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.pop().unwrap().mask, 0xf << 12);
+        assert_eq!(sb.pop().unwrap().mask, 0xf);
+    }
+
+    #[test]
+    fn straddling_store_needs_room_for_both_pieces() {
+        let mut sb = StoreBuffer::new(1, false, 16);
+        assert!(!sb.push(Addr::new(0x10c), 8));
+        assert!(
+            sb.is_empty(),
+            "rejected pushes must not leave partial state"
+        );
+    }
+
+    #[test]
+    fn forwarding_distinguishes_full_partial_none() {
+        let mut sb = StoreBuffer::new(4, true, 16);
+        sb.push(Addr::new(0x100), 8); // bytes 0..8 of chunk 0x100
+        assert_eq!(sb.forward(Addr::new(0x100), 8), ForwardResult::Full);
+        assert_eq!(sb.forward(Addr::new(0x104), 4), ForwardResult::Full);
+        assert_eq!(sb.forward(Addr::new(0x104), 8), ForwardResult::Partial);
+        assert_eq!(sb.forward(Addr::new(0x108), 8), ForwardResult::None);
+        assert_eq!(sb.forward(Addr::new(0x200), 8), ForwardResult::None);
+    }
+
+    #[test]
+    fn forwarding_sees_merged_coverage() {
+        let mut sb = StoreBuffer::new(4, true, 16);
+        sb.push(Addr::new(0x100), 8);
+        sb.push(Addr::new(0x108), 8);
+        assert_eq!(sb.forward(Addr::new(0x104), 8), ForwardResult::Full);
+    }
+
+    proptest! {
+        /// Bytes in == bytes out: every pushed byte is represented in the
+        /// masks popped from the buffer exactly once (combining included),
+        /// when stores never overlap.
+        #[test]
+        fn conservation_of_written_bytes(
+            offsets in prop::collection::vec(0u64..64, 1..20),
+        ) {
+            // Non-overlapping 8-byte stores at distinct 8-byte slots.
+            let mut sb = StoreBuffer::new(256, true, 16);
+            let mut expected = 0u64;
+            let mut seen = std::collections::HashSet::new();
+            for &slot in &offsets {
+                if !seen.insert(slot) {
+                    continue;
+                }
+                prop_assert!(sb.push(Addr::new(slot * 8), 8));
+                expected += 8;
+            }
+            let mut popped = 0u64;
+            while let Some(entry) = sb.pop() {
+                popped += u64::from(entry.mask.count_ones());
+            }
+            prop_assert_eq!(popped, expected);
+        }
+
+        /// A load fully inside a previously pushed store always forwards.
+        #[test]
+        fn pushed_bytes_forward(base in 0u64..1000, combining in any::<bool>()) {
+            let mut sb = StoreBuffer::new(8, combining, 16);
+            let addr = Addr::new(base * 16); // chunk-aligned 8-byte store
+            prop_assert!(sb.push(addr, 8));
+            prop_assert_eq!(sb.forward(addr, 8), ForwardResult::Full);
+            prop_assert_eq!(sb.forward(addr, 4), ForwardResult::Full);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Model-based testing: the set-associative cache against an executable
+//! reference model built from plain `Vec`s.
+//!
+//! The reference keeps, per set, the resident lines in LRU order. Every
+//! probe/fill/invalidate outcome — hit/miss, victim identity, victim
+//! dirtiness — must match the production implementation exactly, for
+//! arbitrary interleavings.
+
+use cpe_mem::{Addr, Cache, CacheGeometry, ProbeResult};
+use proptest::prelude::*;
+
+/// Reference model: per-set LRU list of `(line_addr, dirty)`, most
+/// recently used last.
+struct ModelCache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<(u64, bool)>>,
+}
+
+impl ModelCache {
+    fn new(geometry: CacheGeometry) -> ModelCache {
+        ModelCache {
+            geometry,
+            sets: vec![Vec::new(); geometry.sets() as usize],
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        self.geometry.set_index(addr)
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        self.geometry.tag(addr)
+    }
+
+    fn probe(&mut self, addr: u64, write: bool) -> bool {
+        let line = self.line_of(addr);
+        let set_index = self.set_of(addr);
+        let set = &mut self.sets[set_index];
+        if let Some(position) = set.iter().position(|&(tag, _)| tag == line) {
+            let (tag, dirty) = set.remove(position);
+            set.push((tag, dirty || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64, dirty: bool) -> Option<(u64, bool)> {
+        let line = self.line_of(addr);
+        let set_index = self.set_of(addr);
+        let ways = self.geometry.ways as usize;
+        let set = &mut self.sets[set_index];
+        if let Some(position) = set.iter().position(|&(tag, _)| tag == line) {
+            let (tag, was_dirty) = set.remove(position);
+            set.push((tag, was_dirty || dirty));
+            return None;
+        }
+        let victim = if set.len() == ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push((line, dirty));
+        victim
+    }
+
+    fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set_index = self.set_of(addr);
+        let set = &mut self.sets[set_index];
+        match set.iter().position(|&(tag, _)| tag == line) {
+            Some(position) => {
+                set.remove(position);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Probe { addr: u64, write: bool },
+    Fill { addr: u64, dirty: bool },
+    Invalidate { addr: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = CacheOp> {
+    // A small address universe forces heavy aliasing on every set.
+    let addr = 0u64..2048;
+    prop_oneof![
+        (addr.clone(), any::<bool>()).prop_map(|(addr, write)| CacheOp::Probe { addr, write }),
+        (addr.clone(), any::<bool>()).prop_map(|(addr, dirty)| CacheOp::Fill { addr, dirty }),
+        addr.prop_map(|addr| CacheOp::Invalidate { addr }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cache_matches_the_reference_model(
+        ops in prop::collection::vec(arb_op(), 1..400),
+        ways in prop::sample::select(vec![1u32, 2, 4]),
+    ) {
+        let geometry = CacheGeometry::new(512, ways, 32);
+        let mut cache = Cache::new(geometry);
+        let mut model = ModelCache::new(geometry);
+        for (step, &op) in ops.iter().enumerate() {
+            match op {
+                CacheOp::Probe { addr, write } => {
+                    let got = cache.probe(Addr::new(addr), write) == ProbeResult::Hit;
+                    let want = model.probe(addr, write);
+                    prop_assert_eq!(got, want, "probe mismatch at step {}", step);
+                }
+                CacheOp::Fill { addr, dirty } => {
+                    let got = cache.fill(Addr::new(addr), dirty);
+                    let want = model.fill(addr, dirty);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(victim), Some((line, was_dirty))) => {
+                            prop_assert_eq!(victim.line_addr, line, "victim at step {}", step);
+                            prop_assert_eq!(victim.dirty, was_dirty, "dirtiness at step {}", step);
+                        }
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "fill mismatch at step {step}: {other:?}"
+                            )))
+                        }
+                    }
+                }
+                CacheOp::Invalidate { addr } => {
+                    let got = cache.invalidate(Addr::new(addr));
+                    let want = model.invalidate(addr);
+                    prop_assert_eq!(got, want, "invalidate mismatch at step {}", step);
+                }
+            }
+            // Residency always agrees.
+            let resident: usize = model.sets.iter().map(Vec::len).sum();
+            prop_assert_eq!(cache.resident_lines(), resident, "residency at step {}", step);
+        }
+    }
+}

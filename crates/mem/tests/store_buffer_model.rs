@@ -1,0 +1,148 @@
+//! Model-based testing: the store buffer against a byte-precise
+//! reference model.
+//!
+//! The reference tracks, per chunk, the set of written bytes as a plain
+//! `BTreeMap<chunk, BTreeSet<offset>>` queue. Push acceptance, combining
+//! behaviour, forwarding verdicts and drain ordering must all match.
+
+use std::collections::BTreeSet;
+
+use cpe_mem::{Addr, ForwardResult, StoreBuffer};
+use proptest::prelude::*;
+
+const CHUNK: u64 = 16;
+
+/// Reference model: a FIFO of (chunk, covered byte offsets).
+struct Model {
+    queue: Vec<(u64, BTreeSet<u64>)>,
+    capacity: usize,
+    combining: bool,
+}
+
+impl Model {
+    fn new(capacity: usize, combining: bool) -> Model {
+        Model {
+            queue: Vec::new(),
+            capacity,
+            combining,
+        }
+    }
+
+    fn pieces(addr: u64, bytes: u64) -> Vec<(u64, Vec<u64>)> {
+        let mut out: Vec<(u64, Vec<u64>)> = Vec::new();
+        for byte in addr..addr + bytes {
+            let chunk = byte / CHUNK * CHUNK;
+            let offset = byte % CHUNK;
+            match out.last_mut() {
+                Some((last, offsets)) if *last == chunk => offsets.push(offset),
+                _ => out.push((chunk, vec![offset])),
+            }
+        }
+        out
+    }
+
+    fn push(&mut self, addr: u64, bytes: u64) -> bool {
+        let pieces = Model::pieces(addr, bytes);
+        let new_needed = pieces
+            .iter()
+            .filter(|(chunk, _)| !(self.combining && self.queue.iter().any(|(c, _)| c == chunk)))
+            .count();
+        if self.queue.len() + new_needed > self.capacity {
+            return false;
+        }
+        for (chunk, offsets) in pieces {
+            if self.combining {
+                if let Some((_, set)) = self.queue.iter_mut().find(|(c, _)| *c == chunk) {
+                    set.extend(offsets);
+                    continue;
+                }
+            }
+            self.queue.push((chunk, offsets.into_iter().collect()));
+        }
+        true
+    }
+
+    fn forward(&self, addr: u64, bytes: u64) -> ForwardResult {
+        let mut any = false;
+        for (chunk, set) in &self.queue {
+            let lo = addr.max(*chunk);
+            let hi = (addr + bytes).min(chunk + CHUNK);
+            if lo >= hi {
+                continue;
+            }
+            let overlapping = (lo..hi).any(|byte| set.contains(&(byte % CHUNK)));
+            if overlapping {
+                any = true;
+                let fully_inside = addr >= *chunk && addr + bytes <= chunk + CHUNK;
+                if fully_inside && (addr..addr + bytes).all(|byte| set.contains(&(byte % CHUNK))) {
+                    return ForwardResult::Full;
+                }
+            }
+        }
+        if any {
+            ForwardResult::Partial
+        } else {
+            ForwardResult::None
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let (chunk, set) = self.queue.remove(0);
+        (set.len() as u64 > 0).then_some((chunk, set.len() as u64))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SbOp {
+    Push { addr: u64, bytes: u64 },
+    Forward { addr: u64, bytes: u64 },
+    Pop,
+}
+
+fn arb_op() -> impl Strategy<Value = SbOp> {
+    let addr = 0u64..256;
+    let bytes = prop::sample::select(vec![1u64, 2, 4, 8]);
+    prop_oneof![
+        3 => (addr.clone(), bytes.clone()).prop_map(|(addr, bytes)| SbOp::Push { addr, bytes }),
+        2 => (addr, bytes).prop_map(|(addr, bytes)| SbOp::Forward { addr, bytes }),
+        1 => Just(SbOp::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn store_buffer_matches_the_reference(
+        ops in prop::collection::vec(arb_op(), 1..200),
+        capacity in 1usize..12,
+        combining in any::<bool>(),
+    ) {
+        let mut sb = StoreBuffer::new(capacity, combining, CHUNK);
+        let mut model = Model::new(capacity, combining);
+        for (step, &op) in ops.iter().enumerate() {
+            match op {
+                SbOp::Push { addr, bytes } => {
+                    let got = sb.push(Addr::new(addr), bytes);
+                    let want = model.push(addr, bytes);
+                    prop_assert_eq!(got, want, "push at step {}", step);
+                }
+                SbOp::Forward { addr, bytes } => {
+                    let got = sb.forward(Addr::new(addr), bytes);
+                    let want = model.forward(addr, bytes);
+                    prop_assert_eq!(got, want, "forward at step {}", step);
+                }
+                SbOp::Pop => {
+                    let got = sb.pop().map(|entry| {
+                        (entry.chunk_addr, u64::from(entry.mask.count_ones()))
+                    });
+                    let want = model.pop();
+                    prop_assert_eq!(got, want, "pop at step {}", step);
+                }
+            }
+            prop_assert_eq!(sb.len(), model.queue.len(), "occupancy at step {}", step);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Integer-valued histograms.
+
+use std::fmt;
+
+/// A dense histogram over small non-negative integer values, with an
+/// overflow bucket.
+///
+/// Used for per-cycle distributions such as "memory references issued per
+/// cycle" and "store-buffer occupancy", which the paper's analysis turns
+/// into port-utilisation numbers.
+///
+/// ```
+/// use cpe_stats::Histogram;
+///
+/// let mut h = Histogram::new(4);
+/// h.record(0);
+/// h.record(2);
+/// h.record(2);
+/// h.record(9); // lands in the overflow bucket
+/// assert_eq!(h.count(2), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 4);
+/// assert!((h.mean() - (0.0 + 2.0 + 2.0 + 9.0) / 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    /// Sum of all recorded values (including overflowed ones), for the mean.
+    sum: u128,
+    total: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// A histogram with dense buckets for values `0..=max_value`.
+    pub fn new(max_value: usize) -> Histogram {
+        Histogram {
+            buckets: vec![0; max_value + 1],
+            overflow: 0,
+            sum: 0,
+            total: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        match self.buckets.get_mut(value as usize) {
+            Some(bucket) => *bucket += 1,
+            None => self.overflow += 1,
+        }
+        self.sum += u128::from(value);
+        self.total += 1;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Samples that fell exactly on `value` (0 for overflowed values).
+    pub fn count(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Samples larger than the densest bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max_seen(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Arithmetic mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples equal to `value`.
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples greater than or equal to `value`.
+    pub fn fraction_at_least(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let dense: u64 = self.buckets.iter().skip(value).sum();
+        (dense + self.overflow) as f64 / self.total as f64
+    }
+
+    /// Iterate `(value, count)` over the dense buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().copied().enumerate()
+    }
+
+    /// Merge another histogram's samples into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms have different bucket counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "cannot merge histograms of different widths"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.sum += other.sum;
+        self.total += other.total;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+impl Histogram {
+    /// Render as a fixed-width ASCII bar chart (one row per dense bucket,
+    /// plus the overflow row), scaled to `width` characters for the
+    /// largest bucket.
+    ///
+    /// ```
+    /// use cpe_stats::Histogram;
+    ///
+    /// let mut h = Histogram::new(2);
+    /// h.record(0);
+    /// h.record(1);
+    /// h.record(1);
+    /// let chart = h.to_ascii_chart(10);
+    /// assert!(chart.lines().count() >= 3);
+    /// assert!(chart.contains("##########"), "{chart}");
+    /// ```
+    pub fn to_ascii_chart(&self, width: usize) -> String {
+        let peak = self
+            .iter()
+            .map(|(_, count)| count)
+            .chain(std::iter::once(self.overflow))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut out = String::new();
+        let bar = |count: u64| {
+            let filled = (count as u128 * width as u128 / peak as u128) as usize;
+            "#".repeat(filled)
+        };
+        for (value, count) in self.iter() {
+            let pct = self.fraction(value) * 100.0;
+            out.push_str(&format!(
+                "{value:>4} | {:<width$} {count:>10} ({pct:>5.1}%)\n",
+                bar(count)
+            ));
+        }
+        if self.overflow > 0 {
+            let pct = if self.total == 0 {
+                0.0
+            } else {
+                self.overflow as f64 * 100.0 / self.total as f64
+            };
+            out.push_str(&format!(
+                "  >> | {:<width$} {:>10} ({pct:>5.1}%)\n",
+                bar(self.overflow),
+                self.overflow
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (value, count) in self.iter() {
+            writeln!(f, "{value:>4}: {count}")?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  >>: {}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut h = Histogram::new(2);
+        for v in [0, 1, 1, 2, 2, 2, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 3);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max_seen(), 5);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut h = Histogram::new(4);
+        for v in [0, 0, 1, 2] {
+            h.record(v);
+        }
+        assert_eq!(h.fraction(0), 0.5);
+        assert_eq!(h.fraction_at_least(1), 0.5);
+        assert_eq!(h.fraction_at_least(0), 1.0);
+        assert_eq!(Histogram::new(1).fraction(0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(3);
+        a.record(1);
+        let mut b = Histogram::new(3);
+        b.record(1);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.max_seen(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = Histogram::new(3);
+        a.merge(&Histogram::new(4));
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_dense_plus_overflow(values in prop::collection::vec(0u64..20, 0..200)) {
+            let mut h = Histogram::new(8);
+            for &v in &values {
+                h.record(v);
+            }
+            let dense: u64 = h.iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(dense + h.overflow(), h.total());
+            prop_assert_eq!(h.total(), values.len() as u64);
+        }
+
+        #[test]
+        fn mean_matches_direct_computation(values in prop::collection::vec(0u64..100, 1..100)) {
+            let mut h = Histogram::new(4);
+            for &v in &values {
+                h.record(v);
+            }
+            let direct = values.iter().sum::<u64>() as f64 / values.len() as f64;
+            prop_assert!((h.mean() - direct).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `cpe-workloads` — the applications and operating-system activity used to
+//! evaluate the cache-port techniques.
+//!
+//! The reproduced paper insists on "realistic applications that include the
+//! operating system" (its evaluation ran SimOS with IRIX). This crate is
+//! the SimOS-substitute documented in `DESIGN.md`:
+//!
+//! * [`programs`] — miniature applications **written in the `cpe-isa`
+//!   assembly language**, each reproducing the memory-reference *class* of
+//!   a mid-90s benchmark: hash-table scatter (`compress`), streaming FP
+//!   (`mpeg`), pointer chasing (`db`), strided FP (`fft`), sequential
+//!   integer (`sort`), a token-crunching, syscall-heavy build driver
+//!   (`pmake`), plus the extended-suite `matmul` (peak FP bandwidth) and
+//!   `vm` (indirect-dispatch bytecode interpreter).
+//! * [`os`] — a kernel-activity injector that splices synthesized
+//!   kernel-mode instruction sequences (trap handlers, timer interrupts,
+//!   scheduler slices) into a user instruction stream, with distinct
+//!   kernel code/data footprints.
+//! * [`synth`] — parameterised statistical reference generators for
+//!   controlled microbenchmark sweeps.
+//! * [`Workload`] — named descriptors binding a program to its OS
+//!   configuration, used by the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use cpe_workloads::Workload;
+//!
+//! let spec = Workload::Compress;
+//! let trace = spec.trace(cpe_workloads::Scale::Test);
+//! assert!(trace.take(1000).count() > 0);
+//! ```
+
+pub mod os;
+pub mod programs;
+mod spec;
+pub mod synth;
+
+pub use spec::{Scale, Workload};

@@ -1,0 +1,499 @@
+//! Operating-system activity injection.
+//!
+//! The paper evaluated its techniques on full-system (SimOS/IRIX) traces
+//! precisely because kernel code disturbs user locality and adds memory
+//! references with different port behaviour. This module reproduces those
+//! effects without a full OS: it synthesizes kernel-mode instruction
+//! bursts — syscall handlers, timer-interrupt handlers and periodic
+//! scheduler slices — and splices them into a user [`DynInst`] stream.
+//!
+//! The synthesized kernel code is *structurally consistent*: each handler
+//! has a fixed code template at a fixed kernel text address (prologue that
+//! saves registers, a handler loop, an epilogue that restores and
+//! `eret`s), so instruction fetch, branch prediction and the caches see a
+//! realistic, re-fetchable kernel footprint. Data references target
+//! per-handler regions of kernel data space with a mix of sequential and
+//! scattered accesses.
+
+use std::collections::VecDeque;
+
+use cpe_isa::{DynInst, Inst, Mode, Op, Reg, INST_BYTES, KERNEL_DATA_BASE, KERNEL_TEXT_BASE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How much and what kind of kernel activity to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsConfig {
+    /// Kernel instructions per syscall handler invocation (0 disables).
+    pub syscall_handler_insts: usize,
+    /// A timer interrupt fires every this many *user* instructions (0
+    /// disables).
+    pub timer_interval: u64,
+    /// Kernel instructions per timer handler.
+    pub timer_handler_insts: usize,
+    /// Every n-th timer also runs the scheduler (0 disables).
+    pub context_switch_every: u64,
+    /// Kernel instructions per scheduler slice.
+    pub scheduler_insts: usize,
+    /// Kernel data footprint per handler kind, in KiB.
+    pub kernel_data_kb: u64,
+    /// Seed for the (deterministic) kernel reference generator.
+    pub seed: u64,
+}
+
+impl OsConfig {
+    /// No kernel activity at all: the injector becomes a pass-through.
+    pub fn none() -> OsConfig {
+        OsConfig {
+            syscall_handler_insts: 0,
+            timer_interval: 0,
+            timer_handler_insts: 0,
+            context_switch_every: 0,
+            scheduler_insts: 0,
+            kernel_data_kb: 0,
+            seed: 0,
+        }
+    }
+
+    /// Light OS presence: compute-bound applications.
+    pub fn light() -> OsConfig {
+        OsConfig {
+            syscall_handler_insts: 80,
+            timer_interval: 10_000,
+            timer_handler_insts: 120,
+            context_switch_every: 8,
+            scheduler_insts: 300,
+            kernel_data_kb: 32,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Heavy OS presence: pmake-class program-development workloads.
+    pub fn heavy() -> OsConfig {
+        OsConfig {
+            syscall_handler_insts: 220,
+            timer_interval: 1_500,
+            timer_handler_insts: 250,
+            context_switch_every: 2,
+            scheduler_insts: 800,
+            kernel_data_kb: 256,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Default for OsConfig {
+    /// Moderate OS presence.
+    fn default() -> OsConfig {
+        OsConfig {
+            syscall_handler_insts: 120,
+            timer_interval: 4_000,
+            timer_handler_insts: 150,
+            context_switch_every: 4,
+            scheduler_insts: 400,
+            kernel_data_kb: 96,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The three synthesized handler kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandlerKind {
+    Syscall,
+    Timer,
+    Scheduler,
+}
+
+impl HandlerKind {
+    fn index(self) -> usize {
+        match self {
+            HandlerKind::Syscall => 0,
+            HandlerKind::Timer => 1,
+            HandlerKind::Scheduler => 2,
+        }
+    }
+
+    fn text_base(self) -> u64 {
+        KERNEL_TEXT_BASE + self.index() as u64 * 0x1_0000
+    }
+}
+
+/// One position in a handler's fixed code template.
+#[derive(Debug, Clone, Copy)]
+enum TemplateInst {
+    /// Integer ALU op between rotating kernel registers.
+    Alu(Op),
+    /// Load from the handler's data region (sequential or scattered).
+    Load {
+        /// Scattered (vs sequential) address.
+        scattered: bool,
+    },
+    /// Store to the handler's data region.
+    Store {
+        /// Scattered (vs sequential) address.
+        scattered: bool,
+    },
+}
+
+const BODY_INSTS: usize = 12;
+const SAVED_REGS: usize = 8;
+
+/// Splices synthesized kernel activity into a user instruction stream.
+///
+/// ```
+/// use cpe_isa::{Emulator, Mode};
+/// use cpe_workloads::os::{OsConfig, OsInjector};
+/// use cpe_workloads::programs::pmake;
+///
+/// let user = Emulator::new(pmake::program(4));
+/// let trace: Vec<_> = OsInjector::new(user, OsConfig::default()).collect();
+/// assert!(trace.iter().any(|di| di.mode == Mode::Kernel));
+/// ```
+#[derive(Debug)]
+pub struct OsInjector<I: Iterator<Item = DynInst>> {
+    user: std::iter::Peekable<I>,
+    config: OsConfig,
+    pending: VecDeque<DynInst>,
+    templates: [Vec<TemplateInst>; 3],
+    rng: SmallRng,
+    /// Per-kind sequential data cursors (bytes into the kind's region).
+    cursors: [u64; 3],
+    user_insts: u64,
+    next_timer_at: u64,
+    timers_fired: u64,
+    kernel_emitted: u64,
+}
+
+impl<I: Iterator<Item = DynInst>> OsInjector<I> {
+    /// Wrap a user stream with the given OS configuration.
+    pub fn new(user: I, config: OsConfig) -> OsInjector<I> {
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x0005_1E57_1A11_u64);
+        let templates = [
+            Self::make_template(&mut rng, 0.45),
+            Self::make_template(&mut rng, 0.35),
+            Self::make_template(&mut rng, 0.50),
+        ];
+        OsInjector {
+            user: user.peekable(),
+            pending: VecDeque::new(),
+            templates,
+            rng,
+            cursors: [0; 3],
+            user_insts: 0,
+            next_timer_at: config.timer_interval.max(1),
+            timers_fired: 0,
+            kernel_emitted: 0,
+            config,
+        }
+    }
+
+    /// Fixed body template: `mem_fraction` of slots reference memory.
+    fn make_template(rng: &mut SmallRng, mem_fraction: f64) -> Vec<TemplateInst> {
+        let alu_ops = [Op::Add, Op::Xor, Op::And, Op::Or, Op::Sub, Op::Sll];
+        (0..BODY_INSTS)
+            .map(|_| {
+                if rng.gen_bool(mem_fraction) {
+                    let scattered = rng.gen_bool(0.4);
+                    if rng.gen_bool(0.6) {
+                        TemplateInst::Load { scattered }
+                    } else {
+                        TemplateInst::Store { scattered }
+                    }
+                } else {
+                    TemplateInst::Alu(alu_ops[rng.gen_range(0..alu_ops.len())])
+                }
+            })
+            .collect()
+    }
+
+    fn data_region(&self, kind: HandlerKind) -> (u64, u64) {
+        let bytes = (self.config.kernel_data_kb * 1024).max(4096);
+        (KERNEL_DATA_BASE + kind.index() as u64 * bytes, bytes)
+    }
+
+    fn next_data_addr(&mut self, kind: HandlerKind, scattered: bool) -> u64 {
+        let (base, bytes) = self.data_region(kind);
+        if scattered {
+            base + self.rng.gen_range(0..bytes / 8) * 8
+        } else {
+            let cursor = &mut self.cursors[kind.index()];
+            *cursor = (*cursor + 8) % bytes;
+            base + *cursor
+        }
+    }
+
+    /// Synthesize one handler invocation that resumes the user at
+    /// `resume_pc`. `with_trap_entry` prepends a kernel-mode `syscall`
+    /// standing in for the asynchronous trap (interrupts must serialise
+    /// the pipeline exactly as user-initiated traps do).
+    fn emit_handler(
+        &mut self,
+        kind: HandlerKind,
+        budget: usize,
+        with_trap_entry: bool,
+        resume_pc: u64,
+    ) {
+        if budget == 0 {
+            return;
+        }
+        let kreg = |i: usize| Reg::x(8 + (i % 8) as u8);
+        let mut pc = kind.text_base();
+
+        if with_trap_entry {
+            let next = pc + INST_BYTES;
+            self.push_kernel(&mut pc, Inst::system(Op::Syscall), None, false, next);
+        }
+        // Prologue: save registers to the kernel stack.
+        let (stack_base, _) = self.data_region(kind);
+        for i in 0..SAVED_REGS {
+            let inst = Inst::store(Op::Sd, kreg(i), Reg::SP, (i * 8) as i64);
+            let next = pc + INST_BYTES;
+            self.push_kernel(
+                &mut pc,
+                inst,
+                Some(stack_base + (i * 8) as u64),
+                false,
+                next,
+            );
+        }
+
+        // Body: the template looped until the budget is spent.
+        let iterations = budget.div_ceil(BODY_INSTS + 1).max(1);
+        let body_start = pc;
+        for iter in 0..iterations {
+            let template = self.templates[kind.index()].clone();
+            for (slot, t) in template.iter().enumerate() {
+                let (inst, addr) = match *t {
+                    TemplateInst::Alu(op) => (
+                        Inst::rrr(op, kreg(slot), kreg(slot + 1), kreg(slot + 2)),
+                        None,
+                    ),
+                    TemplateInst::Load { scattered } => {
+                        let addr = self.next_data_addr(kind, scattered);
+                        (
+                            Inst::load(Op::Ld, kreg(slot), kreg(slot + 3), 0),
+                            Some(addr),
+                        )
+                    }
+                    TemplateInst::Store { scattered } => {
+                        let addr = self.next_data_addr(kind, scattered);
+                        (
+                            Inst::store(Op::Sd, kreg(slot), kreg(slot + 3), 0),
+                            Some(addr),
+                        )
+                    }
+                };
+                let next = pc + INST_BYTES;
+                self.push_kernel(&mut pc, inst, addr, false, next);
+            }
+            // Loop-back branch, taken on all but the last iteration.
+            let taken = iter + 1 < iterations;
+            let offset = body_start as i64 - pc as i64;
+            let inst = Inst::branch(Op::Bne, kreg(iter), Reg::ZERO, offset);
+            let next = if taken { body_start } else { pc + INST_BYTES };
+            self.push_kernel(&mut pc, inst, None, taken, next);
+        }
+
+        // Epilogue: restore registers, then return to the user.
+        for i in 0..SAVED_REGS {
+            let inst = Inst::load(Op::Ld, kreg(i), Reg::SP, (i * 8) as i64);
+            let next = pc + INST_BYTES;
+            self.push_kernel(
+                &mut pc,
+                inst,
+                Some(stack_base + (i * 8) as u64),
+                false,
+                next,
+            );
+        }
+        self.push_kernel(&mut pc, Inst::system(Op::Eret), None, false, resume_pc);
+    }
+
+    /// Append one kernel-mode record at `*pc`, advancing it to `next_pc`.
+    fn push_kernel(
+        &mut self,
+        pc: &mut u64,
+        inst: Inst,
+        mem_addr: Option<u64>,
+        taken: bool,
+        next_pc: u64,
+    ) {
+        self.pending.push_back(DynInst {
+            pc: *pc,
+            inst,
+            mem_addr,
+            taken,
+            next_pc,
+            mode: Mode::Kernel,
+        });
+        self.kernel_emitted += 1;
+        *pc = next_pc;
+    }
+
+    /// Kernel instructions injected so far.
+    pub fn kernel_emitted(&self) -> u64 {
+        self.kernel_emitted
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OsConfig {
+        &self.config
+    }
+}
+
+impl<I: Iterator<Item = DynInst>> Iterator for OsInjector<I> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        if let Some(pending) = self.pending.pop_front() {
+            return Some(pending);
+        }
+        let di = self.user.next()?;
+        self.user_insts += 1;
+        let resume_pc = self.user.peek().map_or(di.next_pc, |next| next.pc);
+
+        if di.inst.op == Op::Syscall && self.config.syscall_handler_insts > 0 {
+            // The user's own syscall instruction is the trap entry.
+            self.emit_handler(
+                HandlerKind::Syscall,
+                self.config.syscall_handler_insts,
+                false,
+                resume_pc,
+            );
+        } else if self.config.timer_interval > 0 && self.user_insts >= self.next_timer_at {
+            self.next_timer_at += self.config.timer_interval;
+            self.timers_fired += 1;
+            self.emit_handler(
+                HandlerKind::Timer,
+                self.config.timer_handler_insts,
+                true,
+                resume_pc,
+            );
+            let run_scheduler = self.config.context_switch_every > 0
+                && self
+                    .timers_fired
+                    .is_multiple_of(self.config.context_switch_every);
+            if run_scheduler {
+                // The scheduler continues in kernel mode and resumes the
+                // same user pc when done.
+                self.emit_handler(
+                    HandlerKind::Scheduler,
+                    self.config.scheduler_insts,
+                    false,
+                    resume_pc,
+                );
+            }
+        }
+        Some(di)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests tweak one field of a default config at a time; the
+    // struct-update suggestion reads worse there.
+    #![allow(clippy::field_reassign_with_default)]
+
+    use super::*;
+    use crate::programs::{compress, pmake};
+    use cpe_isa::Emulator;
+
+    fn user_trace(files: u64) -> Emulator {
+        Emulator::new(pmake::program(files))
+    }
+
+    #[test]
+    fn none_config_is_a_pass_through() {
+        let plain: Vec<_> = user_trace(3).collect();
+        let injected: Vec<_> = OsInjector::new(user_trace(3), OsConfig::none()).collect();
+        assert_eq!(plain.len(), injected.len());
+        assert!(injected.iter().all(|di| di.mode == Mode::User));
+    }
+
+    #[test]
+    fn syscalls_grow_kernel_bursts() {
+        let injector = OsInjector::new(user_trace(5), OsConfig::default());
+        let trace: Vec<_> = injector.collect();
+        let kernel = trace.iter().filter(|di| di.mode == Mode::Kernel).count();
+        // 10 syscalls × ~120-inst handlers.
+        assert!(kernel >= 10 * 100, "kernel insts: {kernel}");
+        // Every kernel burst ends with an eret returning to user code.
+        for window in trace.windows(2) {
+            if window[0].mode == Mode::Kernel && window[1].mode == Mode::User {
+                assert_eq!(window[0].inst.op, Op::Eret);
+                assert_eq!(window[0].next_pc, window[1].pc);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_pcs_live_in_kernel_text_and_are_consistent() {
+        let trace: Vec<_> = OsInjector::new(user_trace(2), OsConfig::default()).collect();
+        let mut prev: Option<&DynInst> = None;
+        for di in trace.iter().filter(|di| di.mode == Mode::Kernel) {
+            assert!(di.pc >= KERNEL_TEXT_BASE, "{:#x}", di.pc);
+            if let Some(p) = prev {
+                if p.inst.op != Op::Eret {
+                    assert_eq!(p.next_pc, di.pc, "kernel path must be consistent");
+                }
+            }
+            prev = Some(di);
+        }
+    }
+
+    #[test]
+    fn kernel_data_is_disjoint_from_user_data() {
+        let trace: Vec<_> = OsInjector::new(user_trace(3), OsConfig::heavy()).collect();
+        for di in &trace {
+            if let Some(addr) = di.mem_addr {
+                match di.mode {
+                    Mode::Kernel => assert!(addr >= KERNEL_DATA_BASE),
+                    Mode::User => assert!(addr < KERNEL_DATA_BASE),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timer_interrupts_fire_on_compute_only_code() {
+        // compress makes no syscalls; only the timer creates kernel work.
+        let user = Emulator::new(compress::program(6000));
+        let mut config = OsConfig::default();
+        config.timer_interval = 2_000;
+        let trace: Vec<_> = OsInjector::new(user, config).collect();
+        let kernel = trace.iter().filter(|di| di.mode == Mode::Kernel).count();
+        let user_count = trace.len() - kernel;
+        let expected_timers = user_count as u64 / 2_000;
+        assert!(expected_timers >= 20);
+        assert!(kernel as u64 >= expected_timers * 100, "kernel: {kernel}");
+        // Timer entries serialise like traps.
+        assert!(trace
+            .iter()
+            .any(|di| di.mode == Mode::Kernel && di.inst.op == Op::Syscall));
+    }
+
+    #[test]
+    fn heavier_configs_emit_more_kernel_work() {
+        let count = |config: OsConfig| {
+            OsInjector::new(user_trace(5), config)
+                .filter(|di| di.mode == Mode::Kernel)
+                .count()
+        };
+        let light = count(OsConfig::light());
+        let moderate = count(OsConfig::default());
+        let heavy = count(OsConfig::heavy());
+        assert!(
+            light < moderate && moderate < heavy,
+            "{light} < {moderate} < {heavy}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a: Vec<_> = OsInjector::new(user_trace(3), OsConfig::default()).collect();
+        let b: Vec<_> = OsInjector::new(user_trace(3), OsConfig::default()).collect();
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+}

@@ -1,0 +1,197 @@
+//! `compress`-like workload: dictionary hashing.
+//!
+//! Stands in for SPEC `compress`/LZW-style coders: a hot loop that hashes
+//! each input symbol and probes/updates a dictionary table. The memory
+//! signature is **scattered load+store pairs** over a 16 KiB table, fed by
+//! a sequential input stream. The loop is four-way unrolled with
+//! independent symbols, so a 4-issue machine demands well over one data
+//! reference per cycle — the pressure that motivates multi-ported caches.
+//!
+//! The input stream is embedded in the data segment (as the paper's
+//! benchmarks read pre-existing files) as a window that the compressor
+//! cycles over — keeping the working set L1-resident the way the paper's
+//! applications largely were, so that the cache *port*, not DRAM
+//! bandwidth, is the contended resource.
+
+use cpe_isa::Program;
+
+/// Hash-table slots (8 bytes each; 8 KiB — comfortably L1-resident next
+/// to the input window).
+pub const TABLE_SLOTS: u64 = 1024;
+
+/// Bit offset of the hash field taken from each symbol.
+pub const HASH_SHIFT: u64 = 13;
+
+/// Symbols processed per unrolled loop iteration.
+const UNROLL: u64 = 4;
+
+/// Symbols in the embedded, L1-resident input window (8 KiB).
+pub const WINDOW_SYMBOLS: u64 = 1024;
+
+/// The embedded input window.
+pub fn input_symbols(symbols: u64) -> Vec<u64> {
+    let mut state = 123456789u64;
+    (0..symbols.min(WINDOW_SYMBOLS))
+        .map(|_| {
+            state = super::xorshift64(state);
+            state
+        })
+        .collect()
+}
+
+/// One unrolled symbol step: load the symbol, hash it, probe and update
+/// the dictionary, fold the probed value into the checksum.
+fn symbol_step(i: u64) -> String {
+    // Rotate through disjoint temporaries so the four steps are
+    // independent and can issue in parallel.
+    let (sym, slot, probe) = match i {
+        0 => ("t0", "t1", "t2"),
+        1 => ("t3", "t4", "t5"),
+        2 => ("a0", "a1", "a2"),
+        _ => ("a3", "a4", "a5"),
+    };
+    let offset = i * 8;
+    format!(
+        r#"
+            ld   {sym}, {offset}(s5)
+            srli {slot}, {sym}, {shift}
+            andi {slot}, {slot}, {mask}
+            add  {slot}, {slot}, s2
+            ld   {probe}, 0({slot})
+            sd   {sym}, 0({slot})
+            xor  s4, s4, {probe}
+        "#,
+        shift = HASH_SHIFT,
+        mask = (TABLE_SLOTS - 1) << 3,
+    )
+}
+
+/// Generate the assembly for `symbols` input symbols.
+///
+/// # Panics
+///
+/// Panics unless `symbols` is a positive multiple of 4 (the unroll
+/// factor).
+pub fn source(symbols: u64) -> String {
+    assert!(
+        symbols > 0 && symbols.is_multiple_of(UNROLL),
+        "symbols must be a positive multiple of 4"
+    );
+    let input = super::quad_directives(&input_symbols(symbols));
+    let steps: String = (0..UNROLL).map(symbol_step).collect();
+    format!(
+        r#"
+        # compress-like: hash every input symbol into a dictionary
+        # (probe + insert), 4 symbols per iteration.
+        .data
+        htab:  .space {table_bytes}
+        sink:  .space 16
+        input:
+{input}
+        .text
+        main:
+            la   s5, input
+            la   s2, htab
+            li   s4, 0                # checksum of probed slots
+            li   s0, {iterations}
+            li   s6, {window_iters}   # iterations before the window wraps
+        loop:
+            {steps}
+            addi s5, s5, {bytes_per_iter}
+            addi s6, s6, -1
+            bnez s6, no_wrap
+            la   s5, input
+            li   s6, {window_iters}
+        no_wrap:
+            addi s0, s0, -1
+            bnez s0, loop
+            la   t0, sink
+            sd   s4, 0(t0)
+            li   t1, {symbols}
+            sd   t1, 8(t0)
+            halt
+        "#,
+        table_bytes = TABLE_SLOTS * 8,
+        input = input,
+        symbols = symbols,
+        iterations = symbols / UNROLL,
+        window_iters = symbols.min(WINDOW_SYMBOLS) / UNROLL,
+        steps = steps,
+        bytes_per_iter = UNROLL * 8,
+    )
+}
+
+/// Assemble the program.
+pub fn program(symbols: u64) -> Program {
+    super::build(&source(symbols))
+}
+
+/// Reference model: replay the dictionary exactly, returning the checksum
+/// of probed slot values.
+pub fn expected_checksum(symbols: u64) -> u64 {
+    let window = input_symbols(symbols);
+    let mut table = vec![0u64; TABLE_SLOTS as usize];
+    let mut checksum = 0u64;
+    for i in 0..symbols {
+        let sym = window[(i % window.len() as u64) as usize];
+        let slot = ((sym >> HASH_SHIFT) & ((TABLE_SLOTS - 1) << 3)) / 8;
+        checksum ^= table[slot as usize];
+        table[slot as usize] = sym;
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::{Emulator, DATA_BASE};
+
+    #[test]
+    fn checksum_matches_reference() {
+        let symbols = 512;
+        let mut emu = Emulator::new(program(symbols));
+        emu.run_to_halt(200_000).expect("halts");
+        let sink = emu.program().symbol("sink").expect("sink label");
+        assert_eq!(emu.mem().read_u64(sink), expected_checksum(symbols));
+        assert_eq!(emu.mem().read_u64(sink + 8), symbols);
+        assert!(sink >= DATA_BASE);
+    }
+
+    #[test]
+    fn hot_loop_is_memory_dense_and_scattered() {
+        let symbols = 400;
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut insts = 0u64;
+        let mut lines = std::collections::HashSet::new();
+        for di in Emulator::new(program(symbols)) {
+            insts += 1;
+            if di.inst.op.is_load() {
+                loads += 1;
+            }
+            if di.inst.op.is_store() {
+                stores += 1;
+                lines.insert(di.mem_addr.unwrap() / 32);
+            }
+        }
+        // Per symbol: 2 loads (input + probe) and 1 store.
+        assert_eq!(loads, 2 * symbols);
+        assert_eq!(stores, symbols + 2);
+        let density = (loads + stores) as f64 / insts as f64;
+        assert!(
+            density > 0.25,
+            "hot loop must be memory-dense: {density:.2}"
+        );
+        assert!(
+            lines.len() > 150,
+            "probes must scatter: {} lines",
+            lines.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_unaligned_counts() {
+        source(401);
+    }
+}

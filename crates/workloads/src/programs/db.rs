@@ -1,0 +1,211 @@
+//! `db`-like workload: binary-search-tree build and probe.
+//!
+//! Stands in for database/index code: dependent pointer chasing through a
+//! tree whose nodes scatter across memory. Every step of a lookup is a
+//! load whose *address* depends on the previous load — the
+//! latency-bound, port-light pattern that gains little from wide ports
+//! but stresses the load queue and non-blocking misses.
+
+use cpe_isa::Program;
+
+/// Bytes per tree node: key, left index, right index, padding.
+pub const NODE_BYTES: u64 = 32;
+
+/// Key mask (20-bit keys).
+const KEY_MASK: u64 = 0xfffff;
+
+/// Generate the assembly: insert `inserts` keys, then probe `lookups`
+/// keys drawn from the same generator stream.
+pub fn source(inserts: u64, lookups: u64) -> String {
+    assert!(
+        inserts >= 1 && lookups >= 1,
+        "need at least one insert and lookup"
+    );
+    format!(
+        r#"
+        # db-like: array-backed BST. Node layout: key @0, left @8, right @16.
+        # Index 0 is the root; index 0 as a child pointer means "none".
+        .data
+        nodes: .space {nodes_bytes}
+        sink:  .space 16
+        .text
+        main:
+            la   s0, nodes
+            li   s2, {inserts}
+            li   s3, 424242001        # xorshift state
+            # root node from the first key
+            slli t5, s3, 13
+            xor  s3, s3, t5
+            srli t5, s3, 7
+            xor  s3, s3, t5
+            slli t5, s3, 17
+            xor  s3, s3, t5
+            andi t0, s3, {key_mask}
+            sd   t0, 0(s0)
+            sd   zero, 8(s0)
+            sd   zero, 16(s0)
+            li   s1, 1                # next free node index
+        bloop:
+            bge  s1, s2, build_done
+            slli t5, s3, 13
+            xor  s3, s3, t5
+            srli t5, s3, 7
+            xor  s3, s3, t5
+            slli t5, s3, 17
+            xor  s3, s3, t5
+            andi t0, s3, {key_mask}   # new key
+            li   t1, 0                # cur = root
+        walk:
+            slli t2, t1, 5
+            add  t2, t2, s0
+            ld   t3, 0(t2)            # cur key
+            beq  t0, t3, bnext        # duplicate: drop
+            blt  t0, t3, goleft
+            ld   t5, 16(t2)
+            bnez t5, wright
+            sd   s1, 16(t2)
+            j    newnode
+        wright:
+            mv   t1, t5
+            j    walk
+        goleft:
+            ld   t5, 8(t2)
+            bnez t5, wleft
+            sd   s1, 8(t2)
+            j    newnode
+        wleft:
+            mv   t1, t5
+            j    walk
+        newnode:
+            slli t2, s1, 5
+            add  t2, t2, s0
+            sd   t0, 0(t2)
+            sd   zero, 8(t2)
+            sd   zero, 16(t2)
+            addi s1, s1, 1
+        bnext:
+            j    bloop
+        build_done:
+            li   s4, {lookups}
+            li   s5, 0                # found count
+        lloop:
+            slli t5, s3, 13
+            xor  s3, s3, t5
+            srli t5, s3, 7
+            xor  s3, s3, t5
+            slli t5, s3, 17
+            xor  s3, s3, t5
+            andi t0, s3, {key_mask}
+            li   t1, 0
+        lwalk:
+            slli t2, t1, 5
+            add  t2, t2, s0
+            ld   t3, 0(t2)
+            beq  t0, t3, lfound
+            blt  t0, t3, lleft
+            ld   t1, 16(t2)
+            bnez t1, lwalk
+            j    lnext
+        lleft:
+            ld   t1, 8(t2)
+            bnez t1, lwalk
+            j    lnext
+        lfound:
+            addi s5, s5, 1
+        lnext:
+            addi s4, s4, -1
+            bnez s4, lloop
+            la   t0, sink
+            sd   s5, 0(t0)
+            sd   s1, 8(t0)
+            halt
+        "#,
+        nodes_bytes = inserts * NODE_BYTES,
+        inserts = inserts,
+        lookups = lookups,
+        key_mask = KEY_MASK,
+    )
+}
+
+/// Assemble the program.
+pub fn program(inserts: u64, lookups: u64) -> Program {
+    super::build(&source(inserts, lookups))
+}
+
+/// Reference model: replay the exact build/probe sequence, returning
+/// `(nodes_created, lookups_found)`.
+///
+/// The assembly keeps drawing keys until `inserts` *nodes* exist
+/// (duplicate keys consume a draw without creating a node), so
+/// `nodes_created == inserts` by construction; it is returned anyway to
+/// keep the test honest about what it checks.
+pub fn expected_counts(inserts: u64, lookups: u64) -> (u64, u64) {
+    let mut state = 424242001u64;
+    let mut next_key = || {
+        state = super::xorshift64(state);
+        state & KEY_MASK
+    };
+    let mut keys = std::collections::BTreeSet::new();
+    keys.insert(next_key()); // the root
+    let mut created = 1u64;
+    while created < inserts {
+        if keys.insert(next_key()) {
+            created += 1;
+        }
+    }
+    let mut found = 0u64;
+    for _ in 0..lookups {
+        if keys.contains(&next_key()) {
+            found += 1;
+        }
+    }
+    (created, found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::Emulator;
+
+    #[test]
+    fn build_and_probe_counts_match_reference() {
+        let (inserts, lookups) = (300, 300);
+        let mut emu = Emulator::new(program(inserts, lookups));
+        emu.run_to_halt(5_000_000).expect("halts");
+        let sink = emu.program().symbol("sink").unwrap();
+        let (created, found) = expected_counts(inserts, lookups);
+        assert_eq!(emu.mem().read_u64(sink + 8), created, "node count");
+        assert_eq!(emu.mem().read_u64(sink), found, "lookup hits");
+    }
+
+    #[test]
+    fn lookups_chase_dependent_pointers() {
+        // Each walk step loads the node key and then a child pointer
+        // within the same node (near), then jumps to a node whose address
+        // came from that load (far). Pointer chasing shows up as a large
+        // population of long inter-load jumps.
+        let mut jumps = 0u64;
+        let mut near = 0u64;
+        let mut prev: Option<u64> = None;
+        for di in Emulator::new(program(400, 200)) {
+            if di.inst.op.is_load() {
+                if let Some(p) = prev {
+                    if di.mem_addr.unwrap().abs_diff(p) > 256 {
+                        jumps += 1;
+                    } else {
+                        near += 1;
+                    }
+                }
+                prev = di.mem_addr;
+            }
+        }
+        // The tree's upper levels sit in low, clustered node indices, so
+        // near transitions legitimately outnumber far ones; what marks
+        // pointer chasing is a large absolute population of long jumps.
+        assert!(jumps > 1_000, "tree walks must jump between nodes: {jumps}");
+        assert!(
+            jumps * 5 > near,
+            "far jumps must be a real share: {jumps} far vs {near} near"
+        );
+    }
+}

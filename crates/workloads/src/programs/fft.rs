@@ -1,0 +1,221 @@
+//! `fft`-like workload: strided floating-point butterflies.
+//!
+//! Stands in for FFT/scientific kernels: log₂N passes over an array with
+//! the access stride doubling each pass. Early passes have dense spatial
+//! locality; late passes touch one element per cache line — the classic
+//! stride sweep that separates line-buffer-friendly from
+//! line-buffer-hostile phases within a single program.
+//!
+//! The stride-1 pass is special-cased and every inner loop is two-way
+//! unrolled with pointer increments — exactly what a 90s optimising
+//! compiler emitted — so the kernel is memory-dense (~44% of instructions
+//! reference the cache) and genuinely port-hungry on a 4-issue machine.
+
+use cpe_isa::Program;
+
+/// One butterfly on the element pair `(*a, *b)` at byte offset `off`,
+/// using the given FP temporaries: `t = *b * w; *b = *a - t; *a += t`.
+fn butterfly(a: &str, b: &str, off: u64, f: [&str; 4]) -> String {
+    let [x, y, t, r] = f;
+    format!(
+        r#"
+            fld  {x}, {off}({a})
+            fld  {y}, {off}({b})
+            fmul {t}, {y}, f7
+            fsub {r}, {x}, {t}
+            fadd {x}, {x}, {t}
+            fsd  {r}, {off}({b})
+            fsd  {x}, {off}({a})
+        "#
+    )
+}
+
+/// Generate the assembly for an `n`-element butterfly network.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two of at least 8.
+pub fn source(n: u64) -> String {
+    assert!(
+        n.is_power_of_two() && n >= 8,
+        "n must be a power of two >= 8"
+    );
+    let init = super::double_directives(&initial_values(n));
+    // Stride-1 pass: pairs (i, i+1) and (i+2, i+3) per iteration.
+    let p1_a = butterfly("t0", "t1", 0, ["f3", "f4", "f5", "f6"]);
+    let p1_b = butterfly("t0", "t1", 16, ["f8", "f9", "f10", "f11"]);
+    // General pass (stride >= 2): pairs (j, j+s) and (j+1, j+s+1).
+    let g_a = butterfly("t2", "t3", 0, ["f3", "f4", "f5", "f6"]);
+    let g_b = butterfly("t2", "t3", 8, ["f8", "f9", "f10", "f11"]);
+    format!(
+        r#"
+        # fft-like: for stride s in 1,2,4,..,n/2:
+        #   for each group of 2s, combine a[j] and a[j+s] with w = 0.5:
+        #     t = a[j+s]*w ; a[j+s] = a[j]-t ; a[j] = a[j]+t
+        # The working array is embedded, initialised to (i & 15) + 1.
+        .data
+        sink: .space 8
+        re:
+{init}
+        .text
+        main:
+            la   s5, re
+            # w = 0.5
+            li   t1, 1
+            fcvt f1, t1
+            li   t1, 2
+            fcvt f2, t1
+            fdiv f7, f1, f2
+            li   s1, {n}
+            # ---- pass s = 1, two butterflies per iteration ----
+            mv   t0, s5
+            addi t1, t0, 8
+            li   t4, {quarter_n}
+        p1:
+            {p1_a}
+            {p1_b}
+            addi t0, t0, 32
+            addi t1, t1, 32
+            addi t4, t4, -1
+            bnez t4, p1
+            # ---- passes s = 2, 4, ..., n/2 ----
+            li   s0, 2
+        pass:
+            li   s2, 0              # group start i
+        group:
+            mv   s3, s2             # j
+            add  s4, s2, s0         # group end (i + s)
+            slli t2, s3, 3
+            add  t2, t2, s5         # &re[j]
+            slli t3, s0, 3
+            add  t3, t3, t2         # &re[j+s]
+        inner:
+            {g_a}
+            {g_b}
+            addi t2, t2, 16
+            addi t3, t3, 16
+            addi s3, s3, 2
+            blt  s3, s4, inner
+            slli t4, s0, 1
+            add  s2, s2, t4
+            blt  s2, s1, group
+            slli s0, s0, 1
+            blt  s0, s1, pass
+            # checksum: sum re[]
+            mv   t0, s5
+            li   t1, {n}
+            fcvt f0, zero
+        csum:
+            fld  f1, 0(t0)
+            fadd f0, f0, f1
+            addi t0, t0, 8
+            addi t1, t1, -1
+            bnez t1, csum
+            la   t0, sink
+            fsd  f0, 0(t0)
+            halt
+        "#,
+        init = init,
+        n = n,
+        quarter_n = n / 4,
+        p1_a = p1_a,
+        p1_b = p1_b,
+        g_a = g_a,
+        g_b = g_b,
+    )
+}
+
+/// Assemble the program.
+pub fn program(n: u64) -> Program {
+    super::build(&source(n))
+}
+
+/// The embedded initial array: `re[i] = (i & 15) + 1`.
+pub fn initial_values(n: u64) -> Vec<f64> {
+    (0..n).map(|i| ((i & 15) + 1) as f64).collect()
+}
+
+/// Reference checksum: replays the butterfly network exactly (all values
+/// stay dyadic rationals, so f64 arithmetic is exact).
+pub fn expected_checksum(n: u64) -> f64 {
+    let mut re = initial_values(n);
+    let w = 0.5;
+    let mut s = 1usize;
+    while (s as u64) < n {
+        let mut i = 0usize;
+        while (i as u64) < n {
+            for j in i..i + s {
+                let t = re[j + s] * w;
+                re[j + s] = re[j] - t;
+                re[j] += t;
+            }
+            i += 2 * s;
+        }
+        s *= 2;
+    }
+    re.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::Emulator;
+
+    #[test]
+    fn checksum_matches_reference() {
+        for n in [8u64, 64, 128] {
+            let mut emu = Emulator::new(program(n));
+            emu.run_to_halt(500_000).expect("halts");
+            let sink = emu.program().symbol("sink").unwrap();
+            let got = f64::from_bits(emu.mem().read_u64(sink));
+            assert_eq!(got, expected_checksum(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn kernel_is_memory_dense() {
+        let mut mem_refs = 0u64;
+        let mut insts = 0u64;
+        for di in Emulator::new(program(256)) {
+            insts += 1;
+            if di.inst.op.is_mem() {
+                mem_refs += 1;
+            }
+        }
+        let density = mem_refs as f64 / insts as f64;
+        assert!(
+            density > 0.33,
+            "butterflies must be memory-dense: {density:.2}"
+        );
+    }
+
+    #[test]
+    fn late_passes_use_large_strides() {
+        // Record the distance between the paired loads of each butterfly.
+        let n = 256u64;
+        let mut max_stride = 0u64;
+        let mut prev: Option<u64> = None;
+        for di in Emulator::new(program(n)) {
+            if di.inst.op == cpe_isa::Op::Fld {
+                if let Some(p) = prev.take() {
+                    max_stride = max_stride.max(di.mem_addr.unwrap().abs_diff(p));
+                } else {
+                    prev = di.mem_addr;
+                }
+            } else {
+                prev = None;
+            }
+        }
+        assert_eq!(
+            max_stride,
+            (n / 2) * 8,
+            "final pass pairs elements n/2 apart"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        source(100);
+    }
+}

@@ -1,0 +1,213 @@
+//! `matmul` workload (extended suite): dense matrix multiply.
+//!
+//! The classic port-hungry FP kernel: an i-k-j loop order keeps one `A`
+//! element in a register while streaming a `B` row against a `C` row,
+//! four elements per unrolled iteration — 12 memory references per 25
+//! instructions, all L1-resident. Not part of the paper-analog six (it
+//! has no mid-90s SimOS counterpart in the reconstruction), but included
+//! as the extended suite's bandwidth stress test.
+
+use cpe_isa::Program;
+
+/// One unrolled j-lane: `C[j] += a * B[j]` at byte offset `off`.
+fn lane(off: u64, f: [&str; 3]) -> String {
+    let [b, c, t] = f;
+    format!(
+        r#"
+            fld  {b}, {off}(t2)
+            fld  {c}, {off}(t3)
+            fmul {t}, {b}, f1
+            fadd {c}, {c}, {t}
+            fsd  {c}, {off}(t3)
+        "#
+    )
+}
+
+/// The embedded `A` matrix: `A[i][k] = ((i + 2k) & 7) + 1`.
+pub fn a_values(n: u64) -> Vec<f64> {
+    (0..n * n)
+        .map(|idx| {
+            let (i, k) = (idx / n, idx % n);
+            (((i + 2 * k) & 7) + 1) as f64
+        })
+        .collect()
+}
+
+/// The embedded `B` matrix: `B[k][j] = ((3k + j) & 7) + 1`.
+pub fn b_values(n: u64) -> Vec<f64> {
+    (0..n * n)
+        .map(|idx| {
+            let (k, j) = (idx / n, idx % n);
+            (((3 * k + j) & 7) + 1) as f64
+        })
+        .collect()
+}
+
+/// Generate the assembly for an `n`×`n` multiply.
+///
+/// # Panics
+///
+/// Panics unless `n` is a positive multiple of 4.
+pub fn source(n: u64) -> String {
+    assert!(
+        n > 0 && n.is_multiple_of(4),
+        "n must be a positive multiple of 4"
+    );
+    let a_data = super::double_directives(&a_values(n));
+    let b_data = super::double_directives(&b_values(n));
+    let lanes: String = [
+        lane(0, ["f2", "f3", "f4"]),
+        lane(8, ["f5", "f6", "f7"]),
+        lane(16, ["f8", "f9", "f10"]),
+        lane(24, ["f11", "f12", "f13"]),
+    ]
+    .concat();
+    format!(
+        r#"
+        # matmul: C = A x B (i-k-j order, j unrolled by four).
+        .data
+        c_mat: .space {mat_bytes}
+        sink:  .space 8
+        a_mat:
+{a_data}
+        b_mat:
+{b_data}
+        .text
+        main:
+            la   s1, a_mat
+            la   s5, b_mat
+            la   s6, c_mat
+            li   s3, 0              # i
+        iloop:
+            li   s4, 0              # k
+        kloop:
+            # a = A[i*n + k]
+            li   t4, {n}
+            mul  t0, s3, t4
+            add  t0, t0, s4
+            slli t0, t0, 3
+            add  t0, t0, s1
+            fld  f1, 0(t0)
+            # t2 = &B[k*n], t3 = &C[i*n]
+            mul  t2, s4, t4
+            slli t2, t2, 3
+            add  t2, t2, s5
+            mul  t3, s3, t4
+            slli t3, t3, 3
+            add  t3, t3, s6
+            li   t1, {n_over_4}
+        jloop:
+            {lanes}
+            addi t2, t2, 32
+            addi t3, t3, 32
+            addi t1, t1, -1
+            bnez t1, jloop
+            addi s4, s4, 1
+            li   t4, {n}
+            blt  s4, t4, kloop
+            addi s3, s3, 1
+            blt  s3, t4, iloop
+            # checksum: sum C
+            la   t0, c_mat
+            li   t1, {n2}
+            fcvt f0, zero
+        csum:
+            fld  f1, 0(t0)
+            fadd f0, f0, f1
+            addi t0, t0, 8
+            addi t1, t1, -1
+            bnez t1, csum
+            la   t0, sink
+            fsd  f0, 0(t0)
+            halt
+        "#,
+        mat_bytes = n * n * 8,
+        a_data = a_data,
+        b_data = b_data,
+        n = n,
+        n_over_4 = n / 4,
+        n2 = n * n,
+        lanes = lanes,
+    )
+}
+
+/// Assemble the program.
+pub fn program(n: u64) -> Program {
+    super::build(&source(n))
+}
+
+/// Reference checksum: sum of all elements of `C = A × B` (exact in f64:
+/// entries are sums of at most `n` products of values ≤ 8).
+pub fn expected_checksum(n: u64) -> f64 {
+    let a = a_values(n);
+    let b = b_values(n);
+    let mut sum = 0.0;
+    for i in 0..n as usize {
+        for j in 0..n as usize {
+            let mut acc = 0.0;
+            for k in 0..n as usize {
+                acc += a[i * n as usize + k] * b[k * n as usize + j];
+            }
+            sum += acc;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::Emulator;
+
+    #[test]
+    fn checksum_matches_reference() {
+        let n = 12;
+        let mut emu = Emulator::new(program(n));
+        emu.run_to_halt(2_000_000).expect("halts");
+        let sink = emu.program().symbol("sink").unwrap();
+        let got = f64::from_bits(emu.mem().read_u64(sink));
+        assert_eq!(got, expected_checksum(n));
+    }
+
+    #[test]
+    fn c_entries_match_direct_multiplication() {
+        let n = 8u64;
+        let mut emu = Emulator::new(program(n));
+        emu.run_to_halt(2_000_000).expect("halts");
+        let c = emu.program().symbol("c_mat").unwrap();
+        let a = a_values(n);
+        let b = b_values(n);
+        for i in 0..n {
+            for j in 0..n {
+                let expected: f64 = (0..n)
+                    .map(|k| a[(i * n + k) as usize] * b[(k * n + j) as usize])
+                    .sum();
+                let got = f64::from_bits(emu.mem().read_u64(c + (i * n + j) * 8));
+                assert_eq!(got, expected, "C[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn inner_loop_is_memory_dominated() {
+        let mut mem_refs = 0u64;
+        let mut insts = 0u64;
+        for di in Emulator::new(program(16)) {
+            insts += 1;
+            if di.inst.op.is_mem() {
+                mem_refs += 1;
+            }
+        }
+        let density = mem_refs as f64 / insts as f64;
+        assert!(
+            density > 0.4,
+            "matmul must be memory-dominated: {density:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_bad_sizes() {
+        source(10);
+    }
+}

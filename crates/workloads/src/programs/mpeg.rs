@@ -1,0 +1,202 @@
+//! `mpeg_play`-like workload: streaming blocked floating point.
+//!
+//! Stands in for video decoding: 8×8 coefficient blocks streamed through a
+//! multiply-accumulate against a quantisation table, with the scaled
+//! coefficients streamed back out. The memory signature is **dense
+//! sequential loads and stores with very high spatial locality** — the
+//! best case for wide ports, load combining and line buffers. The inner
+//! loop is four-way unrolled with two independent accumulators, so the
+//! 4-issue machine demands ~1.5 data references per cycle.
+
+use cpe_isa::Program;
+
+/// Doubles per block (an 8×8 coefficient block).
+pub const BLOCK_DOUBLES: u64 = 64;
+
+/// One unrolled lane: load input and quant, multiply, accumulate, store.
+fn lane(i: u64, acc: &str) -> String {
+    let offset = i * 8;
+    let (input, quant, product) = match i {
+        0 => ("f0", "f1", "f3"),
+        1 => ("f5", "f6", "f8"),
+        2 => ("f10", "f11", "f12"),
+        _ => ("f13", "f14", "f15"),
+    };
+    format!(
+        r#"
+            fld  {input}, {offset}(s0)
+            fld  {quant}, {offset}(t3)
+            fmul {product}, {input}, {quant}
+            fadd {acc}, {acc}, {product}
+            fsd  {product}, {offset}(s1)
+        "#
+    )
+}
+
+/// Blocks in the embedded, L1-resident frame window (8 KiB of input
+/// plus the same of output).
+pub const WINDOW_BLOCKS: u64 = 16;
+
+/// The embedded window of input coefficients: 3, 10, 17, ... mod 256.
+pub fn input_values(blocks: u64) -> Vec<f64> {
+    let mut seq = 3u64;
+    (0..blocks.min(WINDOW_BLOCKS) * BLOCK_DOUBLES)
+        .map(|_| {
+            let v = seq as f64;
+            seq = (seq + 7) & 255;
+            v
+        })
+        .collect()
+}
+
+/// Generate the assembly for `blocks` coefficient blocks.
+pub fn source(blocks: u64) -> String {
+    assert!(blocks > 0, "at least one block");
+    let n = blocks * BLOCK_DOUBLES;
+    let lanes: String = (0..4)
+        .map(|i| lane(i, if i % 2 == 0 { "f2" } else { "f9" }))
+        .collect();
+    let quant_data =
+        super::double_directives(&(1..=BLOCK_DOUBLES).map(|k| k as f64).collect::<Vec<_>>());
+    let input_data = super::double_directives(&input_values(blocks));
+    format!(
+        r#"
+        # mpeg-like: out[i] = in[i] * quant[i % 64], plus per-block energy
+        # accumulated into a global checksum. Inner loop unrolled 4x with
+        # two independent accumulators. The decoder cycles over an embedded
+        # L1-resident frame window, as a steady-state decoder reworking its
+        # reference frame does.
+        .data
+        output: .space {data_bytes}
+        sink:   .space 8
+        quant:
+{quant_data}
+        input:
+{input_data}
+        .text
+        main:
+            # stream the blocks
+            la   s0, input
+            la   s1, output
+            la   s2, quant
+            li   s3, {blocks}
+            li   s4, {window_blocks} # blocks until the window wraps
+            fcvt f4, zero            # global checksum
+        block:
+            li   t1, {inner_iters}
+            mv   t3, s2
+            fcvt f2, zero            # accumulator A
+            fcvt f9, zero            # accumulator B
+        inner:
+            {lanes}
+            addi s0, s0, 32
+            addi s1, s1, 32
+            addi t3, t3, 32
+            addi t1, t1, -1
+            bnez t1, inner
+            fadd f2, f2, f9
+            fadd f4, f4, f2
+            # wrap the frame window
+            addi s4, s4, -1
+            bnez s4, no_wrap
+            la   s0, input
+            la   s1, output
+            li   s4, {window_blocks}
+        no_wrap:
+            addi s3, s3, -1
+            bnez s3, block
+            la   t0, sink
+            fsd  f4, 0(t0)
+            halt
+        "#,
+        data_bytes = n.min(WINDOW_BLOCKS * BLOCK_DOUBLES) * 8,
+        window_blocks = WINDOW_BLOCKS,
+        quant_data = quant_data,
+        input_data = input_data,
+        blocks = blocks,
+        inner_iters = BLOCK_DOUBLES / 4,
+        lanes = lanes,
+    )
+}
+
+/// Assemble the program.
+pub fn program(blocks: u64) -> Program {
+    super::build(&source(blocks))
+}
+
+/// The checksum the program should produce, computed independently.
+/// All values are small integers, so the f64 arithmetic is exact and the
+/// accumulator split does not change the result.
+pub fn expected_checksum(blocks: u64) -> f64 {
+    let window = input_values(blocks);
+    let window_blocks = window.len() as u64 / BLOCK_DOUBLES;
+    let mut sum = 0.0;
+    for b in 0..blocks {
+        let base = ((b % window_blocks) * BLOCK_DOUBLES) as usize;
+        for k in 0..BLOCK_DOUBLES as usize {
+            sum += window[base + k] * (k + 1) as f64;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::Emulator;
+
+    #[test]
+    fn checksum_matches_reference() {
+        let blocks = 10;
+        let mut emu = Emulator::new(program(blocks));
+        emu.run_to_halt(200_000).expect("halts");
+        let sink = emu.program().symbol("sink").unwrap();
+        let got = f64::from_bits(emu.mem().read_u64(sink));
+        assert_eq!(got, expected_checksum(blocks));
+    }
+
+    #[test]
+    fn hot_loop_is_very_memory_dense() {
+        let mut mem_refs = 0u64;
+        let mut insts = 0u64;
+        let mut in_stream = false;
+        for di in Emulator::new(program(5)) {
+            if di.inst.op.is_load() {
+                in_stream = true; // the init phases perform no loads
+            }
+            if in_stream {
+                insts += 1;
+                if di.inst.op.is_mem() {
+                    mem_refs += 1;
+                }
+            }
+        }
+        let density = mem_refs as f64 / insts as f64;
+        assert!(
+            density > 0.45,
+            "streaming loop must be memory-dense: {density:.2}"
+        );
+    }
+
+    #[test]
+    fn accesses_are_sequential() {
+        // Loads strictly alternate the input and quant streams; taking
+        // every other fld isolates the input stream, which must advance in
+        // small positive steps.
+        let all_loads: Vec<u64> = Emulator::new(program(3))
+            .filter(|di| di.inst.op == cpe_isa::Op::Fld)
+            .map(|di| di.mem_addr.unwrap())
+            .collect();
+        let input_loads: Vec<u64> = all_loads.iter().copied().step_by(2).collect();
+        assert!(input_loads.len() > 150);
+        let sequential = input_loads
+            .windows(2)
+            .filter(|pair| pair[1].wrapping_sub(pair[0]) <= 32)
+            .count();
+        let ratio = sequential as f64 / (input_loads.len() - 1) as f64;
+        assert!(
+            ratio > 0.95,
+            "streaming workload must be sequential: {ratio:.2}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! `pmake`-like workload: a syscall-heavy build driver.
+//!
+//! Stands in for the paper's OS-intensive workloads (program development /
+//! `pmake`): bursts of user computation — scanning "source files" and
+//! updating a rule table — punctuated by frequent system calls. On its own
+//! the user side is a memory-dense scanner; combined with the
+//! kernel-activity injector (which splices a handler after every
+//! `syscall`) it yields the high kernel fractions the paper's full-system
+//! traces showed.
+
+use cpe_isa::Program;
+
+/// Tokens scanned per simulated "file".
+pub const TOKENS_PER_FILE: u64 = 64;
+
+/// Rule-table slots (8 bytes each).
+pub const RULE_SLOTS: u64 = 2048;
+
+/// Generate the assembly processing `files` files.
+pub fn source(files: u64) -> String {
+    assert!(files >= 1, "need at least one file");
+    format!(
+        r#"
+        # pmake-like: generate a token stream once, then per "file" scan a
+        # window of it, folding each token into a rule table, and issue
+        # the write/stat syscalls a build driver would.
+        .data
+        rules:  .space {rules_bytes}
+        tokens: .space {tokens_bytes}
+        sink:   .space 16
+        .text
+        main:
+            # Phase 1: the token stream (wraps across files).
+            la   t0, tokens
+            li   s1, 1122334455
+            li   t2, {window_tokens}
+        gen:
+            slli t1, s1, 13
+            xor  s1, s1, t1
+            srli t1, s1, 7
+            xor  s1, s1, t1
+            slli t1, s1, 17
+            xor  s1, s1, t1
+            sd   s1, 0(t0)
+            addi t0, t0, 8
+            addi t2, t2, -1
+            bnez t2, gen
+            # Phase 2: scan.
+            li   s0, {files}
+            la   s2, rules
+            li   s3, 0                 # tokens processed
+            li   s6, 1640531527
+            la   s5, tokens
+        file:
+            li   s4, {tokens_per_file}
+        token:
+            ld   t2, 0(s5)             # token A
+            mul  t0, t2, s6
+            srli t0, t0, 18
+            andi t0, t0, {rule_mask}
+            slli t0, t0, 3
+            add  t0, t0, s2
+            ld   t3, 0(t0)             # rule entry A
+            add  t3, t3, t2
+            sd   t3, 0(t0)
+            ld   a2, 8(s5)             # token B
+            mul  a0, a2, s6
+            srli a0, a0, 18
+            andi a0, a0, {rule_mask}
+            slli a0, a0, 3
+            add  a0, a0, s2
+            ld   a3, 0(a0)             # rule entry B
+            add  a3, a3, a2
+            sd   a3, 0(a0)
+            addi s5, s5, 16
+            addi s3, s3, 2
+            addi s4, s4, -2
+            bnez s4, token
+            # wrap the token window every 8 files
+            li   t4, 7
+            and  t4, s0, t4
+            bnez t4, no_wrap
+            la   s5, tokens
+        no_wrap:
+            # "write the object file"
+            li   a7, 1
+            li   a0, 4096
+            syscall
+            # "stat the next source"
+            li   a7, 3
+            syscall
+            addi s0, s0, -1
+            bnez s0, file
+            la   t0, sink
+            sd   s3, 0(t0)
+            halt
+        "#,
+        rules_bytes = RULE_SLOTS * 8,
+        tokens_bytes = 8 * TOKENS_PER_FILE * 8, // an 8-file window
+        window_tokens = 8 * TOKENS_PER_FILE,
+        files = files,
+        tokens_per_file = TOKENS_PER_FILE,
+        rule_mask = RULE_SLOTS - 1,
+    )
+}
+
+/// Assemble the program.
+pub fn program(files: u64) -> Program {
+    super::build(&source(files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::{Emulator, Op};
+
+    #[test]
+    fn token_count_and_syscall_rate() {
+        let files = 20;
+        let mut syscalls = 0u64;
+        let mut insts = 0u64;
+        let mut emu = Emulator::new(program(files));
+        while let Some(di) = emu.step().expect("executes") {
+            insts += 1;
+            if di.inst.op == Op::Syscall {
+                syscalls += 1;
+            }
+        }
+        assert_eq!(syscalls, files * 2);
+        let sink = emu.program().symbol("sink").unwrap();
+        assert_eq!(emu.mem().read_u64(sink), files * TOKENS_PER_FILE);
+        // Syscall density: one per few hundred instructions, far denser
+        // than the compute workloads.
+        assert!(
+            insts / syscalls < 600,
+            "{insts} insts / {syscalls} syscalls"
+        );
+    }
+
+    #[test]
+    fn scanner_is_memory_dense() {
+        let mut mem_refs = 0u64;
+        let mut insts = 0u64;
+        let mut in_scan = false;
+        for di in Emulator::new(program(10)) {
+            if di.inst.op.is_load() {
+                in_scan = true;
+            }
+            if in_scan {
+                insts += 1;
+                if di.inst.op.is_mem() {
+                    mem_refs += 1;
+                }
+            }
+        }
+        let density = mem_refs as f64 / insts as f64;
+        assert!(density > 0.2, "scanner must be memory-dense: {density:.2}");
+    }
+
+    #[test]
+    fn token_window_wraps_not_overruns() {
+        // Addresses of token loads must stay inside the tokens array.
+        let mut emu = Emulator::new(program(30));
+        let tokens = emu.program().symbol("tokens").unwrap();
+        let end = tokens + 8 * TOKENS_PER_FILE * 8;
+        emu.run_to_halt(10_000_000).expect("halts");
+        // Re-run collecting load addresses (fresh emulator, same program).
+        for di in Emulator::new(program(30)) {
+            if di.inst.op.is_load() {
+                let addr = di.mem_addr.unwrap();
+                if (tokens..end + 8).contains(&addr) {
+                    assert!(addr < end, "token load overran the window: {addr:#x}");
+                }
+            }
+        }
+    }
+}

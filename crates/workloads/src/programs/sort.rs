@@ -1,0 +1,185 @@
+//! `sort`-like workload: bottom-up merge sort.
+//!
+//! Stands in for integer-sorting/compiler-style code: branchy compare
+//! loops over two sequential input runs merging into a sequential output
+//! run. The memory signature is **multiple concurrent sequential streams**
+//! with a data-dependent branch per element — heavy, regular port traffic
+//! plus a real test of the branch predictor.
+
+use cpe_isa::Program;
+
+/// Generate the assembly sorting `n` pseudo-random 64-bit keys.
+pub fn source(n: u64) -> String {
+    assert!(n >= 2, "need at least two elements");
+    format!(
+        r#"
+        # Bottom-up merge sort of n keys, then an in-assembly sortedness
+        # verification writing 1/0 to sink.
+        .data
+        arr:  .space {data_bytes}
+        tmp:  .space {data_bytes}
+        sink: .space 16
+        .text
+        main:
+            la   s0, arr
+            la   s1, tmp
+            li   s2, {n}
+            # fill with xorshift & 0xffff
+            li   t4, 987654321
+            mv   t0, s0
+            mv   t2, s2
+        fill:
+            slli t5, t4, 13
+            xor  t4, t4, t5
+            srli t5, t4, 7
+            xor  t4, t4, t5
+            slli t5, t4, 17
+            xor  t4, t4, t5
+            andi t5, t4, 65535
+            sd   t5, 0(t0)
+            addi t0, t0, 8
+            addi t2, t2, -1
+            bnez t2, fill
+            li   s3, 1              # width
+        outer:
+            li   s4, 0              # chunk start i
+        chunk:
+            add  t0, s4, s3
+            blt  t0, s2, m_ok
+            mv   t0, s2
+        m_ok:                       # t0 = mid
+            slli t1, s3, 1
+            add  t1, s4, t1
+            blt  t1, s2, h_ok
+            mv   t1, s2
+        h_ok:                       # t1 = hi
+            slli t2, s4, 3
+            add  t2, t2, s0         # a cursor
+            slli t3, t0, 3
+            add  t3, t3, s0         # a end / b start
+            mv   t4, t3             # b cursor
+            slli t5, t1, 3
+            add  t5, t5, s0         # b end
+            slli t6, s4, 3
+            add  t6, t6, s1         # out cursor
+        merge_loop:
+            bge  t2, t3, b_rest
+            bge  t4, t5, take_a
+            ld   a0, 0(t2)
+            ld   a1, 0(t4)
+            bge  a1, a0, take_a2
+            sd   a1, 0(t6)
+            addi t4, t4, 8
+            addi t6, t6, 8
+            j    merge_loop
+        take_a:
+            ld   a0, 0(t2)
+        take_a2:
+            sd   a0, 0(t6)
+            addi t2, t2, 8
+            addi t6, t6, 8
+            j    merge_loop
+        b_rest:
+            bge  t4, t5, merge_done
+            ld   a1, 0(t4)
+            sd   a1, 0(t6)
+            addi t4, t4, 8
+            addi t6, t6, 8
+            j    b_rest
+        merge_done:
+            slli t0, s3, 1
+            add  s4, s4, t0
+            blt  s4, s2, chunk
+            # copy tmp back to arr
+            mv   t0, s0
+            mv   t1, s1
+            mv   t2, s2
+        copy:
+            ld   a0, 0(t1)
+            sd   a0, 0(t0)
+            addi t0, t0, 8
+            addi t1, t1, 8
+            addi t2, t2, -1
+            bnez t2, copy
+            slli s3, s3, 1
+            blt  s3, s2, outer
+            # verify ascending; also fold a sum for the checksum
+            mv   t0, s0
+            li   t1, 1
+            ld   a1, 0(t0)
+            mv   a2, a1             # sum
+            li   t2, {n_minus_1}
+        vloop:
+            addi t0, t0, 8
+            ld   a0, 0(t0)
+            add  a2, a2, a0
+            bge  a0, a1, v_ok
+            li   t1, 0
+        v_ok:
+            mv   a1, a0
+            addi t2, t2, -1
+            bnez t2, vloop
+            la   t3, sink
+            sd   t1, 0(t3)
+            sd   a2, 8(t3)
+            halt
+        "#,
+        data_bytes = n * 8,
+        n = n,
+        n_minus_1 = n - 1,
+    )
+}
+
+/// Assemble the program.
+pub fn program(n: u64) -> Program {
+    super::build(&source(n))
+}
+
+/// The keys the program generates, for reference checking.
+pub fn input_keys(n: u64) -> Vec<u64> {
+    let mut state = 987654321u64;
+    (0..n)
+        .map(|_| {
+            state = super::xorshift64(state);
+            state & 0xffff
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::Emulator;
+
+    #[test]
+    fn sorts_and_checksums() {
+        let n = 256;
+        let mut emu = Emulator::new(program(n));
+        emu.run_to_halt(2_000_000).expect("halts");
+        let sink = emu.program().symbol("sink").unwrap();
+        assert_eq!(emu.mem().read_u64(sink), 1, "array must be sorted");
+        let expected_sum: u64 = input_keys(n).iter().sum();
+        assert_eq!(emu.mem().read_u64(sink + 8), expected_sum, "keys preserved");
+    }
+
+    #[test]
+    fn sorted_array_matches_rust_sort() {
+        let n = 64;
+        let mut emu = Emulator::new(program(n));
+        emu.run_to_halt(2_000_000).expect("halts");
+        let arr = emu.program().symbol("arr").unwrap();
+        let got: Vec<u64> = (0..n).map(|i| emu.mem().read_u64(arr + i * 8)).collect();
+        let mut expected = input_keys(n);
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn handles_non_power_of_two_lengths() {
+        let n = 37;
+        let mut emu = Emulator::new(program(n));
+        emu.run_to_halt(2_000_000).expect("halts");
+        let sink = emu.program().symbol("sink").unwrap();
+        assert_eq!(emu.mem().read_u64(sink), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! `vm` workload (extended suite): a bytecode interpreter.
+//!
+//! Stands in for interpreter/compiler-class code (`gcc`, `perl`): a
+//! threaded dispatch loop whose **indirect jump** changes target with
+//! every bytecode — the pattern that punishes BTBs — plus a software
+//! operand stack generating dependent load/store pairs. The interpreted
+//! program is an accumulation loop embedded as data.
+
+use cpe_isa::Program;
+
+/// Bytecode opcodes (one 8-byte word each; operands follow as words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bytecode {
+    /// Push the next word.
+    Push(u64),
+    /// Pop two, push their sum.
+    Add,
+    /// Pop two, push (second - top).
+    Sub,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Pop a word into global `idx`.
+    Store(u64),
+    /// Push global `idx`.
+    Load(u64),
+    /// Pop; jump to absolute word index when nonzero.
+    Jnz(u64),
+    /// Stop; `globals[0]` is the result.
+    Halt,
+}
+
+impl Bytecode {
+    fn emit(self, out: &mut Vec<u64>) {
+        match self {
+            Bytecode::Push(value) => out.extend([0, value]),
+            Bytecode::Add => out.push(1),
+            Bytecode::Sub => out.push(2),
+            Bytecode::Dup => out.push(3),
+            Bytecode::Store(idx) => out.extend([4, idx]),
+            Bytecode::Load(idx) => out.extend([5, idx]),
+            Bytecode::Jnz(target) => out.extend([6, target]),
+            Bytecode::Halt => out.push(7),
+        }
+    }
+}
+
+/// The interpreted program: `globals[0] = sum(1..=iterations)` via a
+/// countdown loop.
+pub fn bytecode(iterations: u64) -> Vec<u64> {
+    let mut words = Vec::new();
+    // globals[1] = iterations; globals[0] = 0
+    Bytecode::Push(iterations).emit(&mut words);
+    Bytecode::Store(1).emit(&mut words);
+    Bytecode::Push(0).emit(&mut words);
+    Bytecode::Store(0).emit(&mut words);
+    let loop_start = words.len() as u64;
+    // globals[0] += globals[1]
+    Bytecode::Load(0).emit(&mut words);
+    Bytecode::Load(1).emit(&mut words);
+    Bytecode::Add.emit(&mut words);
+    Bytecode::Store(0).emit(&mut words);
+    // globals[1] -= 1
+    Bytecode::Load(1).emit(&mut words);
+    Bytecode::Push(1).emit(&mut words);
+    Bytecode::Sub.emit(&mut words);
+    Bytecode::Dup.emit(&mut words);
+    Bytecode::Store(1).emit(&mut words);
+    // loop while nonzero (the Dup left the counter on the stack)
+    Bytecode::Jnz(loop_start).emit(&mut words);
+    Bytecode::Halt.emit(&mut words);
+    words
+}
+
+/// Reference interpretation of [`bytecode`]: the final `globals[0]`.
+pub fn expected_result(iterations: u64) -> u64 {
+    // sum(1..=iterations) via the same arithmetic the VM performs.
+    iterations * (iterations + 1) / 2
+}
+
+/// Generate the host assembly: jump-table threaded dispatch over the
+/// embedded bytecode.
+pub fn source(iterations: u64) -> String {
+    assert!(iterations >= 1, "at least one iteration");
+    let code = super::quad_directives(&bytecode(iterations));
+    format!(
+        r#"
+        # vm: threaded bytecode interpreter. Dispatch is one indirect
+        # jump per bytecode through a runtime-built handler table.
+        .data
+        jt:      .space 64          # 8 handler addresses
+        globals: .space 256
+        stack:   .space 2048
+        sink:    .space 8
+        code:
+{code}
+        .text
+        main:
+            # build the jump table
+            la   t0, jt
+            la   t1, op_push
+            sd   t1, 0(t0)
+            la   t1, op_add
+            sd   t1, 8(t0)
+            la   t1, op_sub
+            sd   t1, 16(t0)
+            la   t1, op_dup
+            sd   t1, 24(t0)
+            la   t1, op_store
+            sd   t1, 32(t0)
+            la   t1, op_load
+            sd   t1, 40(t0)
+            la   t1, op_jnz
+            sd   t1, 48(t0)
+            la   t1, op_halt
+            sd   t1, 56(t0)
+            la   s0, code           # vm pc
+            la   s1, stack          # vm sp (grows up)
+            la   s2, globals
+            la   s3, jt
+            la   s7, code           # code base for absolute jumps
+        dispatch:
+            ld   t0, 0(s0)
+            addi s0, s0, 8
+            slli t0, t0, 3
+            add  t0, t0, s3
+            ld   t1, 0(t0)
+            jr   t1
+        op_push:
+            ld   t2, 0(s0)
+            addi s0, s0, 8
+            sd   t2, 0(s1)
+            addi s1, s1, 8
+            j    dispatch
+        op_add:
+            addi s1, s1, -8
+            ld   t2, 0(s1)
+            ld   t3, -8(s1)
+            add  t3, t3, t2
+            sd   t3, -8(s1)
+            j    dispatch
+        op_sub:
+            addi s1, s1, -8
+            ld   t2, 0(s1)
+            ld   t3, -8(s1)
+            sub  t3, t3, t2
+            sd   t3, -8(s1)
+            j    dispatch
+        op_dup:
+            ld   t2, -8(s1)
+            sd   t2, 0(s1)
+            addi s1, s1, 8
+            j    dispatch
+        op_store:
+            ld   t2, 0(s0)
+            addi s0, s0, 8
+            addi s1, s1, -8
+            ld   t3, 0(s1)
+            slli t2, t2, 3
+            add  t2, t2, s2
+            sd   t3, 0(t2)
+            j    dispatch
+        op_load:
+            ld   t2, 0(s0)
+            addi s0, s0, 8
+            slli t2, t2, 3
+            add  t2, t2, s2
+            ld   t3, 0(t2)
+            sd   t3, 0(s1)
+            addi s1, s1, 8
+            j    dispatch
+        op_jnz:
+            ld   t2, 0(s0)
+            addi s0, s0, 8
+            addi s1, s1, -8
+            ld   t3, 0(s1)
+            beqz t3, dispatch
+            slli t2, t2, 3
+            add  s0, t2, s7
+            j    dispatch
+        op_halt:
+            ld   a0, 0(s2)
+            la   t0, sink
+            sd   a0, 0(t0)
+            halt
+        "#,
+        code = code,
+    )
+}
+
+/// Assemble the program.
+pub fn program(iterations: u64) -> Program {
+    super::build(&source(iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::{Emulator, Op};
+
+    #[test]
+    fn interprets_the_accumulation_loop_correctly() {
+        for iterations in [1u64, 7, 100] {
+            let mut emu = Emulator::new(program(iterations));
+            emu.run_to_halt(5_000_000).expect("halts");
+            let sink = emu.program().symbol("sink").unwrap();
+            assert_eq!(
+                emu.mem().read_u64(sink),
+                expected_result(iterations),
+                "iterations = {iterations}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_is_indirect_jump_dominated() {
+        let mut indirect = 0u64;
+        let mut insts = 0u64;
+        for di in Emulator::new(program(100)) {
+            insts += 1;
+            if di.inst.op == Op::Jalr {
+                indirect += 1;
+            }
+        }
+        // One indirect dispatch per interpreted bytecode.
+        assert!(indirect > 900, "dispatches: {indirect}");
+        assert!(
+            insts / indirect < 20,
+            "dispatch density must be interpreter-like: {insts}/{indirect}"
+        );
+    }
+
+    #[test]
+    fn dispatch_targets_vary() {
+        // The single dispatch-site jalr jumps to many distinct handlers —
+        // the BTB-hostile pattern this workload exists to provide.
+        let mut targets = std::collections::HashSet::new();
+        let mut dispatch_pc = None;
+        for di in Emulator::new(program(50)) {
+            if di.inst.op == Op::Jalr {
+                dispatch_pc.get_or_insert(di.pc);
+                assert_eq!(Some(di.pc), dispatch_pc, "one dispatch site");
+                targets.insert(di.next_pc);
+            }
+        }
+        assert!(targets.len() >= 6, "handlers reached: {}", targets.len());
+    }
+}

@@ -1,0 +1,225 @@
+//! Named workload descriptors — the suite the experiments run.
+
+use cpe_isa::{Emulator, Program};
+
+use crate::os::{OsConfig, OsInjector};
+use crate::programs;
+
+/// Problem-size presets.
+///
+/// `Test` keeps unit/integration tests fast; `Small` suits quick local
+/// experiments; `Full` is what the benchmark harness uses to regenerate
+/// the paper's tables and figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Tens of thousands of dynamic instructions.
+    Test,
+    /// Hundreds of thousands of dynamic instructions.
+    Small,
+    /// Millions of dynamic instructions.
+    Full,
+}
+
+/// The six workloads of the reproduction suite, each standing in for a
+/// class of the paper's SimOS/IRIX applications (see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Dictionary hashing — scattered load/store pairs.
+    Compress,
+    /// Streaming blocked FP — dense sequential references.
+    Mpeg,
+    /// Tree build/probe — dependent pointer chasing.
+    Db,
+    /// Strided FP butterflies — stride sweep from dense to sparse.
+    Fft,
+    /// Merge sort — multiple sequential streams, branchy compares.
+    Sort,
+    /// Build driver — syscall-dense user code plus a heavy OS presence.
+    Pmake,
+    /// Dense matrix multiply — the extended suite's bandwidth stress test
+    /// (not in [`Workload::ALL`]; see [`Workload::EXTENDED`]).
+    Matmul,
+    /// Bytecode interpreter — the extended suite's indirect-dispatch,
+    /// BTB-hostile workload (extended suite only).
+    Vm,
+}
+
+impl Workload {
+    /// The six paper-analog workloads, in canonical report order. The
+    /// recorded experiments in `EXPERIMENTS.md` use exactly this set.
+    pub const ALL: [Workload; 6] = [
+        Workload::Compress,
+        Workload::Mpeg,
+        Workload::Db,
+        Workload::Fft,
+        Workload::Sort,
+        Workload::Pmake,
+    ];
+
+    /// The extended suite: the paper-analog six plus later additions.
+    pub const EXTENDED: [Workload; 8] = [
+        Workload::Compress,
+        Workload::Mpeg,
+        Workload::Db,
+        Workload::Fft,
+        Workload::Sort,
+        Workload::Pmake,
+        Workload::Matmul,
+        Workload::Vm,
+    ];
+
+    /// Short name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Compress => "compress",
+            Workload::Mpeg => "mpeg",
+            Workload::Db => "db",
+            Workload::Fft => "fft",
+            Workload::Sort => "sort",
+            Workload::Pmake => "pmake",
+            Workload::Matmul => "matmul",
+            Workload::Vm => "vm",
+        }
+    }
+
+    /// One-line description of the reference pattern it contributes.
+    pub fn description(self) -> &'static str {
+        match self {
+            Workload::Compress => "dictionary hashing: scattered load/store pairs",
+            Workload::Mpeg => "streaming blocked FP: dense sequential refs",
+            Workload::Db => "tree probes: dependent pointer chasing",
+            Workload::Fft => "butterflies: strides from 8B to N/2",
+            Workload::Sort => "merge sort: concurrent sequential streams",
+            Workload::Pmake => "build driver: syscall-dense + heavy OS",
+            Workload::Matmul => "dense FP matmul: peak port bandwidth demand",
+            Workload::Vm => "bytecode interpreter: indirect dispatch",
+        }
+    }
+
+    /// Assemble the workload's program at the given scale.
+    pub fn program(self, scale: Scale) -> Program {
+        use Scale::*;
+        match self {
+            Workload::Compress => programs::compress::program(match scale {
+                Test => 2_000,
+                Small => 10_000,
+                Full => 60_000,
+            }),
+            Workload::Mpeg => programs::mpeg::program(match scale {
+                Test => 40,
+                Small => 100,
+                Full => 700,
+            }),
+            Workload::Db => match scale {
+                Test => programs::db::program(300, 400),
+                Small => programs::db::program(1_000, 2_500),
+                Full => programs::db::program(4_000, 15_000),
+            },
+            Workload::Fft => programs::fft::program(match scale {
+                Test => 256,
+                Small => 1_024,
+                // 2048 doubles = 16 KiB: L1-resident, like the paper's
+                // cache-friendly scientific kernels.
+                Full => 2_048,
+            }),
+            Workload::Sort => programs::sort::program(match scale {
+                Test => 256,
+                Small => 1_500,
+                // 1800 keys (two 14.4 KiB arrays): L1-resident.
+                Full => 1_800,
+            }),
+            Workload::Pmake => programs::pmake::program(match scale {
+                Test => 25,
+                Small => 120,
+                Full => 900,
+            }),
+            Workload::Matmul => programs::matmul::program(match scale {
+                Test => 16,
+                Small => 24,
+                // 32x32 doubles: three 8 KiB matrices, L1-resident.
+                Full => 32,
+            }),
+            Workload::Vm => programs::vm::program(match scale {
+                Test => 250,
+                Small => 1_200,
+                Full => 3_500,
+            }),
+        }
+    }
+
+    /// The OS presence appropriate to the workload class: compute codes
+    /// see light kernel activity, the build driver a heavy one — mirroring
+    /// the kernel fractions full-system tracing reported.
+    pub fn os_config(self) -> OsConfig {
+        match self {
+            Workload::Mpeg | Workload::Fft | Workload::Matmul => OsConfig::light(),
+            Workload::Compress | Workload::Sort | Workload::Db | Workload::Vm => {
+                OsConfig::default()
+            }
+            Workload::Pmake => OsConfig::heavy(),
+        }
+    }
+
+    /// The complete committed-path trace: functional execution of the
+    /// program with this workload's OS activity spliced in.
+    pub fn trace(self, scale: Scale) -> OsInjector<Emulator> {
+        OsInjector::new(Emulator::new(self.program(scale)), self.os_config())
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::Mode;
+
+    #[test]
+    fn every_workload_assembles_and_runs_at_test_scale() {
+        for workload in Workload::ALL {
+            let count = workload.trace(Scale::Test).count();
+            assert!(count > 10_000, "{workload}: only {count} instructions");
+        }
+    }
+
+    #[test]
+    fn pmake_has_the_highest_kernel_fraction() {
+        let kernel_fraction = |w: Workload| {
+            let mut total = 0u64;
+            let mut kernel = 0u64;
+            for di in w.trace(Scale::Test) {
+                total += 1;
+                if di.mode == Mode::Kernel {
+                    kernel += 1;
+                }
+            }
+            kernel as f64 / total as f64
+        };
+        let pmake = kernel_fraction(Workload::Pmake);
+        assert!(pmake > 0.2, "pmake should be OS-heavy: {pmake}");
+        for w in [Workload::Mpeg, Workload::Fft, Workload::Sort] {
+            assert!(kernel_fraction(w) < pmake, "{w}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for w in Workload::ALL {
+            assert!(names.insert(w.name()));
+            assert!(!w.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn scales_order_instruction_counts() {
+        // Spot-check one workload: Test < Small dynamic length.
+        let test = Workload::Compress.trace(Scale::Test).count();
+        let small = Workload::Compress.trace(Scale::Small).count();
+        assert!(test < small);
+    }
+}

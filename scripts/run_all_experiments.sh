@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate every reconstructed table/figure and extension experiment.
+#
+# Usage: scripts/run_all_experiments.sh [output.md] [--quick]
+#   output.md  transcript destination (default: experiment_results.md)
+#   --quick    smoke-scale run (passed through to every binary)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-experiment_results.md}"
+shift || true
+flags=("$@")
+
+cargo build --release -p cpe-bench --bins
+
+core=(table1_config table2_workloads fig1_ports fig2_store_buffer
+      fig3_wide_port fig4_line_buffers fig5_headline fig6_os_breakdown
+      fig7_issue_width table3_port_util table4_ablation)
+extensions=(x1_prefetch x2_bpred x3_tlb x4_banking x5_victim
+            x6_write_policy x7_cache_size x8_memory_latency x9_wrong_path)
+
+: > "$out"
+for exp in "${core[@]}" "${extensions[@]}"; do
+    echo "running $exp" >&2
+    ./target/release/"$exp" "${flags[@]}" >> "$out"
+    echo >> "$out"
+done
+echo "wrote $out" >&2
+grep -c "^SHAPE OK" "$out" | xargs -I{} echo "{} shape checks passed" >&2

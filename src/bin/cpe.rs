@@ -1,0 +1,224 @@
+//! `cpe` — command-line front end to the simulation suite.
+//!
+//! ```text
+//! cpe asm <file.s>                  assemble and print the listing
+//! cpe trace <file.s> [-n N]         print the first N executed instructions
+//! cpe run <file.s> [--config NAME] [--max N] [--detail]
+//!                                   run the timing model, print the metrics
+//! cpe compare <file.s> [--max N]    run every design point, print a table
+//! cpe record <file.s> -o <trace>    record the executed path to a trace file
+//! cpe replay <trace> [--config NAME] [--max N]
+//!                                   run the timing model over a recorded trace
+//! cpe workloads                     list the built-in workload suite
+//! cpe configs                       list the named machine configurations
+//! ```
+
+use std::process::ExitCode;
+
+use cpe::isa::trace_io::{write_trace, TraceReader};
+use cpe::isa::{asm::assemble, Emulator, Program};
+use cpe::stats::Table;
+use cpe::workloads::{Scale, Workload};
+use cpe::{SimConfig, Simulator};
+
+fn all_configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig::naive_single_port(),
+        SimConfig::single_port(),
+        SimConfig::dual_port(),
+        SimConfig::quad_port(),
+        SimConfig::ideal_ports(),
+        SimConfig::combined_single_port(),
+    ]
+}
+
+fn config_by_name(name: &str) -> Option<SimConfig> {
+    all_configs().into_iter().find(|config| config.name == name)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read `{path}`: {error}"))?;
+    assemble(&source).map_err(|error| format!("{path}: {error}"))
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|arg| arg == flag)
+        .and_then(|index| args.get(index + 1).cloned())
+}
+
+fn cmd_asm(path: &str) -> Result<(), String> {
+    let program = load_program(path)?;
+    print!("{program}");
+    println!(
+        "\n{} instructions ({} bytes of text), {} bytes of data, {} symbols, entry {:#x}",
+        program.text.len(),
+        program.text_bytes(),
+        program.data.len(),
+        program.symbols.len(),
+        program.entry
+    );
+    Ok(())
+}
+
+fn cmd_trace(path: &str, count: usize) -> Result<(), String> {
+    let program = load_program(path)?;
+    for (index, di) in Emulator::new(program).take(count).enumerate() {
+        let mem = di
+            .mem_addr
+            .map(|addr| format!("  [{addr:#x}]"))
+            .unwrap_or_default();
+        let taken = if di.taken { "  (taken)" } else { "" };
+        println!("{index:>6}  {:#010x}  {}{mem}{taken}", di.pc, di.inst);
+    }
+    Ok(())
+}
+
+fn cmd_run(
+    path: &str,
+    config_name: Option<String>,
+    max: Option<u64>,
+    detail: bool,
+) -> Result<(), String> {
+    let name = config_name.unwrap_or_else(|| "combined_single_port".to_string());
+    let config = match name.as_str() {
+        "combined_single_port" => SimConfig::combined_single_port(),
+        other => config_by_name(other)
+            .ok_or_else(|| format!("unknown config `{other}` (see `cpe configs`)"))?,
+    };
+    let program = load_program(path)?;
+    let summary = Simulator::new(config).run_trace(path, Emulator::new(program), max);
+    if detail {
+        println!("{}", cpe::detailed_report(&summary));
+    } else {
+        println!("{summary}");
+        println!(
+            "  mispredict {:.2}%  D-MPKI {:.2}  I-MPKI {:.2}  stores combined {:.1}%  \
+             store-stall/kc {:.1}",
+            summary.mispredict_rate * 100.0,
+            summary.dcache_mpki,
+            summary.icache_mpki,
+            summary.store_combined_fraction * 100.0,
+            summary.store_stall_per_kcycle
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(path: &str, max: Option<u64>) -> Result<(), String> {
+    let program = load_program(path)?;
+    let mut table = Table::new(["config", "IPC", "cycles", "port util %", "portless loads %"]);
+    for config in all_configs() {
+        let name = config.name.clone();
+        let summary = Simulator::new(config).run_trace(path, Emulator::new(program.clone()), max);
+        table.row([
+            name,
+            format!("{:.3}", summary.ipc),
+            summary.cycles.to_string(),
+            format!("{:.1}", summary.port_utilisation * 100.0),
+            format!("{:.1}", summary.portless_load_fraction * 100.0),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_record(path: &str, output: &str) -> Result<(), String> {
+    let program = load_program(path)?;
+    let file = std::fs::File::create(output)
+        .map_err(|error| format!("cannot create `{output}`: {error}"))?;
+    let written = write_trace(std::io::BufWriter::new(file), Emulator::new(program))
+        .map_err(|error| error.to_string())?;
+    println!("recorded {written} instructions to {output}");
+    Ok(())
+}
+
+fn cmd_replay(path: &str, config_name: Option<String>, max: Option<u64>) -> Result<(), String> {
+    let name = config_name.unwrap_or_else(|| "combined_single_port".to_string());
+    let config = match name.as_str() {
+        "combined_single_port" => SimConfig::combined_single_port(),
+        other => config_by_name(other)
+            .ok_or_else(|| format!("unknown config `{other}` (see `cpe configs`)"))?,
+    };
+    let file =
+        std::fs::File::open(path).map_err(|error| format!("cannot open `{path}`: {error}"))?;
+    let reader =
+        TraceReader::new(std::io::BufReader::new(file)).map_err(|error| error.to_string())?;
+    let trace = reader.map(|record| record.expect("corrupt trace record"));
+    let summary = Simulator::new(config).run_trace(path, trace, max);
+    println!("{summary}");
+    Ok(())
+}
+
+fn cmd_workloads() {
+    let mut table = Table::new(["name", "description", "test-scale dyn. insts"]);
+    for workload in Workload::EXTENDED {
+        table.row([
+            workload.name().to_string(),
+            workload.description().to_string(),
+            workload.trace(Scale::Test).count().to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn cmd_configs() {
+    let mut table = Table::new(["name", "summary"]);
+    for config in all_configs() {
+        table.row([config.name.clone(), config.to_string()]);
+    }
+    println!("{table}");
+}
+
+fn usage() -> &'static str {
+    "usage:\n  cpe asm <file.s>\n  cpe trace <file.s> [-n N]\n  cpe run <file.s> \
+     [--config NAME] [--max N]\n  cpe compare <file.s> [--max N]\n  cpe record <file.s> \
+     -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  cpe workloads\n  cpe configs"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("asm") if args.len() >= 2 => cmd_asm(&args[1]),
+        Some("trace") if args.len() >= 2 => {
+            let count = parse_flag(&args, "-n")
+                .and_then(|value| value.parse().ok())
+                .unwrap_or(50);
+            cmd_trace(&args[1], count)
+        }
+        Some("run") if args.len() >= 2 => {
+            let max = parse_flag(&args, "--max").and_then(|value| value.parse().ok());
+            let detail = args.iter().any(|arg| arg == "--detail");
+            cmd_run(&args[1], parse_flag(&args, "--config"), max, detail)
+        }
+        Some("compare") if args.len() >= 2 => {
+            let max = parse_flag(&args, "--max").and_then(|value| value.parse().ok());
+            cmd_compare(&args[1], max)
+        }
+        Some("record") if args.len() >= 2 => {
+            let output = parse_flag(&args, "-o").unwrap_or_else(|| "trace.cpet".to_string());
+            cmd_record(&args[1], &output)
+        }
+        Some("replay") if args.len() >= 2 => {
+            let max = parse_flag(&args, "--max").and_then(|value| value.parse().ok());
+            cmd_replay(&args[1], parse_flag(&args, "--config"), max)
+        }
+        Some("workloads") => {
+            cmd_workloads();
+            Ok(())
+        }
+        Some("configs") => {
+            cmd_configs();
+            Ok(())
+        }
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

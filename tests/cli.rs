@@ -1,0 +1,164 @@
+//! End-user tests of the `cpe` command-line tool, driving the real
+//! binary through `std::process`.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cpe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cpe"))
+}
+
+fn write_program(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("prog.s");
+    let mut file = std::fs::File::create(&path).unwrap();
+    write!(
+        file,
+        ".data\nv: .quad 4, 3, 2, 1\n.text\nmain: la t0, v\n li t1, 4\n li a0, 0\n\
+         loop: ld t2, 0(t0)\n add a0, a0, t2\n addi t0, t0, 8\n addi t1, t1, -1\n\
+         bnez t1, loop\n halt\n"
+    )
+    .unwrap();
+    path
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpe-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let output = cpe().output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn asm_lists_the_program() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let output = cpe().arg("asm").arg(&program).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("main:"), "{stdout}");
+    assert!(stdout.contains("ld x7, 0(x5)") || stdout.contains("ld "), "{stdout}");
+    assert!(stdout.contains("instructions"), "{stdout}");
+}
+
+#[test]
+fn asm_reports_errors_with_line_numbers() {
+    let dir = tempdir();
+    let path = dir.join("broken.s");
+    std::fs::write(&path, "main: nop\n frobnicate a0\n").unwrap();
+    let output = cpe().arg("asm").arg(&path).output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+}
+
+#[test]
+fn run_prints_metrics_and_detail() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let output = cpe()
+        .args(["run"])
+        .arg(&program)
+        .args(["--config", "2-port"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("IPC"), "{stdout}");
+
+    let detailed = cpe()
+        .args(["run"])
+        .arg(&program)
+        .args(["--detail"])
+        .output()
+        .unwrap();
+    assert!(detailed.status.success());
+    let stdout = String::from_utf8_lossy(&detailed.stdout);
+    assert!(stdout.contains("### load sourcing"), "{stdout}");
+    assert!(stdout.contains("### pipeline friction"), "{stdout}");
+}
+
+#[test]
+fn unknown_config_is_a_clean_error() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let output = cpe()
+        .args(["run"])
+        .arg(&program)
+        .args(["--config", "definitely-not-a-config"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown config"), "{stderr}");
+}
+
+#[test]
+fn record_then_replay_matches_run() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let trace = dir.join("prog.cpet");
+
+    let recorded = cpe()
+        .args(["record"])
+        .arg(&program)
+        .arg("-o")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(recorded.status.success());
+    assert!(trace.exists());
+
+    let direct = cpe().args(["run"]).arg(&program).output().unwrap();
+    let replayed = cpe().args(["replay"]).arg(&trace).output().unwrap();
+    assert!(replayed.status.success());
+    let direct_out = String::from_utf8_lossy(&direct.stdout);
+    let replayed_out = String::from_utf8_lossy(&replayed.stdout);
+    // Both report the same IPC/cycles (the label differs).
+    let tail = |s: &str| s.split(':').nth(1).map(str::to_string);
+    assert_eq!(
+        tail(direct_out.lines().next().unwrap()),
+        tail(replayed_out.lines().next().unwrap()),
+        "direct: {direct_out}\nreplayed: {replayed_out}"
+    );
+}
+
+#[test]
+fn workloads_and_configs_listings() {
+    let workloads = cpe().arg("workloads").output().unwrap();
+    assert!(workloads.status.success());
+    let stdout = String::from_utf8_lossy(&workloads.stdout);
+    for name in ["compress", "mpeg", "db", "fft", "sort", "pmake", "matmul", "vm"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+
+    let configs = cpe().arg("configs").output().unwrap();
+    assert!(configs.status.success());
+    let stdout = String::from_utf8_lossy(&configs.stdout);
+    for name in ["1-port naive", "2-port", "1-port combined"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn trace_prints_executed_instructions() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let output = cpe()
+        .args(["trace"])
+        .arg(&program)
+        .args(["-n", "5"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(stdout.lines().count(), 5, "{stdout}");
+    assert!(stdout.contains("0x00001000"), "{stdout}");
+}

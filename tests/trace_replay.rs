@@ -1,0 +1,55 @@
+//! Record/replay equivalence: timing a recorded trace must be
+//! bit-identical to timing the live emulator, for every workload.
+
+use cpe::isa::trace_io::{write_trace, TraceReader};
+use cpe::workloads::{Scale, Workload};
+use cpe::{SimConfig, Simulator};
+
+#[test]
+fn replayed_traces_time_identically() {
+    for workload in [Workload::Sort, Workload::Pmake] {
+        // Record (includes injected kernel activity).
+        let mut buffer = Vec::new();
+        let recorded = write_trace(&mut buffer, workload.trace(Scale::Test)).unwrap();
+        assert!(recorded > 10_000);
+
+        let sim = Simulator::new(SimConfig::combined_single_port());
+        let live = sim.run(workload, Scale::Test, None);
+        let replayed = sim.run_trace(
+            workload.name(),
+            TraceReader::new(buffer.as_slice())
+                .unwrap()
+                .map(Result::unwrap),
+            None,
+        );
+        assert_eq!(live.cycles, replayed.cycles, "{workload}");
+        assert_eq!(live.insts, replayed.insts, "{workload}");
+        assert_eq!(
+            live.raw.mem.port_slots_used.get(),
+            replayed.raw.mem.port_slots_used.get(),
+            "{workload}"
+        );
+        assert_eq!(
+            live.raw.cpu.mispredicts.get(),
+            replayed.raw.cpu.mispredicts.get(),
+            "{workload}"
+        );
+    }
+}
+
+#[test]
+fn trace_files_round_trip_kernel_mode() {
+    let mut buffer = Vec::new();
+    write_trace(&mut buffer, Workload::Pmake.trace(Scale::Test)).unwrap();
+    let kernel_records = TraceReader::new(buffer.as_slice())
+        .unwrap()
+        .map(Result::unwrap)
+        .filter(|di| di.mode.is_kernel())
+        .count();
+    let kernel_live = Workload::Pmake
+        .trace(Scale::Test)
+        .filter(|di| di.mode.is_kernel())
+        .count();
+    assert_eq!(kernel_records, kernel_live);
+    assert!(kernel_records > 0);
+}
