@@ -114,8 +114,7 @@ fn main() {
     let mut vm_config = SimConfig::dual_port();
     vm_config.cpu.predictor = PREDICTORS[2].1;
     let vm = Simulator::new(vm_config).run(Workload::Vm, options.scale, options.window);
-    let per_ki =
-        vm.raw.cpu.indirect_mispredicts.get() as f64 * 1000.0 / vm.insts.max(1) as f64;
+    let per_ki = vm.raw.cpu.indirect_mispredicts.get() as f64 * 1000.0 / vm.insts.max(1) as f64;
     println!(
         "\nindirect-dispatch stress (`vm`): {:.1} indirect mispredicts per \
          kilo-instruction — the one-entry-per-pc BTB cannot capture a dispatch \

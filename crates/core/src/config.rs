@@ -3,6 +3,8 @@
 use cpe_cpu::CpuConfig;
 use cpe_mem::MemConfig;
 
+use crate::error::ConfigError;
+
 /// A complete, named simulation configuration.
 ///
 /// The constructors mirror the paper's comparison set. Start from one of
@@ -150,14 +152,20 @@ impl SimConfig {
         self
     }
 
-    /// Validate both halves.
+    /// Check both halves for consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when either the CPU or memory configuration is inconsistent.
-    pub fn validate(&self) {
-        self.cpu.validate();
-        self.mem.validate();
+    /// Returns a [`ConfigError`] naming this configuration and the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cpu
+            .try_validate()
+            .and_then(|()| self.mem.try_validate())
+            .map_err(|message| ConfigError {
+                config: self.name.clone(),
+                message,
+            })
     }
 }
 
@@ -208,8 +216,18 @@ mod tests {
             SimConfig::ideal_ports(),
             SimConfig::combined_single_port(),
         ] {
-            config.validate();
+            config.validate().expect("preset must be consistent");
         }
+    }
+
+    #[test]
+    fn invalid_configs_are_reported_not_panicked() {
+        let error = SimConfig::naive_single_port()
+            .with_ports(0)
+            .validate()
+            .expect_err("zero ports is inconsistent");
+        assert_eq!(error.config, "1-port naive");
+        assert!(error.message.contains("port"), "{}", error.message);
     }
 
     #[test]

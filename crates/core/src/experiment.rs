@@ -1,9 +1,19 @@
 //! Sweep runner: configurations × workloads → result tables.
+//!
+//! A sweep is only as useful as its worst cell: one inconsistent
+//! configuration, one livelocked design point or one panicking worker
+//! must not cost the other N−1 results. Every cell therefore runs behind
+//! [`std::panic::catch_unwind`], failures land in the row as a typed
+//! [`SimError`], and the tables print `FAILED(<kind>)` where a number
+//! would have been.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use cpe_stats::{geometric_mean, Table};
 use cpe_workloads::{Scale, Workload};
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::metrics::RunSummary;
 use crate::simulator::Simulator;
 
@@ -14,9 +24,21 @@ pub struct ResultRow {
     pub config_index: usize,
     /// The workload.
     pub workload: Workload,
-    /// The run's metrics.
-    pub summary: RunSummary,
+    /// The run's metrics, or the typed failure that replaced them.
+    pub outcome: Result<RunSummary, SimError>,
 }
+
+impl ResultRow {
+    /// The run's metrics, when the cell completed.
+    pub fn summary(&self) -> Option<&RunSummary> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// How one cell of the sweep is executed — injectable so tests can model
+/// panicking or livelocking cells without constructing one for real.
+type CellRunner<'a> =
+    &'a (dyn Fn(&SimConfig, Workload, Scale, Option<u64>) -> Result<RunSummary, SimError> + Sync);
 
 /// A (configurations × workloads) sweep.
 ///
@@ -73,19 +95,34 @@ impl Experiment {
 
     /// Run the full sweep. Progress is reported through `progress`
     /// (workload, config name) before each run when provided.
-    pub fn run_with_progress(&self, mut progress: impl FnMut(Workload, &str)) -> ExperimentResults {
+    ///
+    /// Each cell is isolated: an invalid configuration, a watchdog abort
+    /// or a panic marks that cell failed and the sweep continues.
+    pub fn run_with_progress(&self, progress: impl FnMut(Workload, &str)) -> ExperimentResults {
+        self.run_with_runner(&Experiment::run_cell, progress)
+    }
+
+    /// Run the full sweep silently.
+    pub fn run(&self) -> ExperimentResults {
+        self.run_with_progress(|_, _| {})
+    }
+
+    fn run_with_runner(
+        &self,
+        runner: CellRunner<'_>,
+        mut progress: impl FnMut(Workload, &str),
+    ) -> ExperimentResults {
         assert!(!self.configs.is_empty(), "add at least one configuration");
         assert!(!self.workloads.is_empty(), "add at least one workload");
         let mut rows = Vec::new();
         for &workload in &self.workloads {
             for (config_index, config) in self.configs.iter().enumerate() {
                 progress(workload, &config.name);
-                let summary =
-                    Simulator::new(config.clone()).run(workload, self.scale, self.max_insts);
+                let outcome = isolate(|| runner(config, workload, self.scale, self.max_insts));
                 rows.push(ResultRow {
                     config_index,
                     workload,
-                    summary,
+                    outcome,
                 });
             }
         }
@@ -96,16 +133,19 @@ impl Experiment {
         }
     }
 
-    /// Run the full sweep silently.
-    pub fn run(&self) -> ExperimentResults {
-        self.run_with_progress(|_, _| {})
-    }
-
     /// Run the sweep across `threads` worker threads (each run is
     /// independent and deterministic, so results are identical to
     /// [`Experiment::run`] — only wall-clock changes). `threads = 0`
     /// uses the machine's available parallelism.
     pub fn run_parallel(&self, threads: usize) -> ExperimentResults {
+        self.run_parallel_with_runner(&Experiment::run_cell, threads)
+    }
+
+    fn run_parallel_with_runner(
+        &self,
+        runner: CellRunner<'_>,
+        threads: usize,
+    ) -> ExperimentResults {
         assert!(!self.configs.is_empty(), "add at least one configuration");
         assert!(!self.workloads.is_empty(), "add at least one workload");
         let workers = if threads == 0 {
@@ -131,12 +171,13 @@ impl Experiment {
                             .skip(worker)
                             .step_by(workers)
                             .map(|&(config_index, workload)| {
-                                let summary = Simulator::new(configs[config_index].clone())
-                                    .run(workload, scale, max_insts);
+                                let outcome = isolate(|| {
+                                    runner(&configs[config_index], workload, scale, max_insts)
+                                });
                                 ResultRow {
                                     config_index,
                                     workload,
-                                    summary,
+                                    outcome,
                                 }
                             })
                             .collect::<Vec<_>>()
@@ -145,7 +186,11 @@ impl Experiment {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|handle| handle.join().expect("worker panicked"))
+                .flat_map(|handle| {
+                    // Cells catch their own panics; a dead worker would be
+                    // a harness bug, not a cell failure.
+                    handle.join().expect("sweep worker survived its cells")
+                })
                 .collect()
         });
         // Restore the canonical (workload-major, config) order.
@@ -160,6 +205,44 @@ impl Experiment {
             configs: self.configs.clone(),
             workloads: self.workloads.clone(),
             rows,
+        }
+    }
+
+    /// The production cell runner: typed validation, then the run, with
+    /// one bounded retry at half the instruction window when the
+    /// watchdog aborts — a livelock late in a long window can still
+    /// yield a usable (if shorter) measurement.
+    fn run_cell(
+        config: &SimConfig,
+        workload: Workload,
+        scale: Scale,
+        max_insts: Option<u64>,
+    ) -> Result<RunSummary, SimError> {
+        let simulator = Simulator::try_new(config.clone())?;
+        match simulator.try_run(workload, scale, max_insts) {
+            Err(SimError::Watchdog(report)) => {
+                let Some(window) = max_insts.filter(|&n| n >= 2) else {
+                    return Err(SimError::Watchdog(report));
+                };
+                simulator.try_run(workload, scale, Some(window / 2))
+            }
+            outcome => outcome,
+        }
+    }
+}
+
+/// Run one cell behind a panic boundary, converting an unwind into the
+/// typed failure the row stores.
+fn isolate(run: impl FnOnce() -> Result<RunSummary, SimError>) -> Result<RunSummary, SimError> {
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(SimError::WorkerPanic { message })
         }
     }
 }
@@ -183,21 +266,66 @@ impl ExperimentResults {
         &self.configs
     }
 
-    /// The cell for (workload, config index), if present.
+    /// The completed cell for (workload, config index), if it ran and
+    /// succeeded.
     pub fn cell(&self, workload: Workload, config_index: usize) -> Option<&RunSummary> {
+        self.row(workload, config_index)
+            .and_then(ResultRow::summary)
+    }
+
+    /// The failure for (workload, config index), if that cell failed.
+    pub fn failure(&self, workload: Workload, config_index: usize) -> Option<&SimError> {
+        self.row(workload, config_index)
+            .and_then(|row| row.outcome.as_ref().err())
+    }
+
+    /// Every failed cell as (workload, configuration name, error).
+    pub fn failures(&self) -> Vec<(Workload, &str, &SimError)> {
+        self.rows
+            .iter()
+            .filter_map(|row| {
+                let error = row.outcome.as_ref().err()?;
+                Some((
+                    row.workload,
+                    self.configs[row.config_index].name.as_str(),
+                    error,
+                ))
+            })
+            .collect()
+    }
+
+    fn row(&self, workload: Workload, config_index: usize) -> Option<&ResultRow> {
         self.rows
             .iter()
             .find(|row| row.workload == workload && row.config_index == config_index)
-            .map(|row| &row.summary)
     }
 
-    /// Geometric-mean IPC across workloads for one configuration.
+    /// Render one table cell: the metric, `FAILED(<kind>)`, or `-` when
+    /// the grid has no such cell at all.
+    fn cell_text(
+        &self,
+        workload: Workload,
+        config_index: usize,
+        metric: impl Fn(&RunSummary) -> String,
+    ) -> String {
+        match self.row(workload, config_index) {
+            Some(row) => match &row.outcome {
+                Ok(summary) => metric(summary),
+                Err(error) => format!("FAILED({})", error.kind()),
+            },
+            None => "-".to_string(),
+        }
+    }
+
+    /// Geometric-mean IPC across workloads for one configuration; failed
+    /// cells are excluded (the table marks them, the mean covers what
+    /// ran).
     pub fn geomean_ipc(&self, config_index: usize) -> f64 {
         geometric_mean(
             self.rows
                 .iter()
                 .filter(|row| row.config_index == config_index)
-                .map(|row| row.summary.ipc),
+                .filter_map(|row| row.summary().map(|summary| summary.ipc)),
         )
         .unwrap_or(0.0)
     }
@@ -220,10 +348,7 @@ impl ExperimentResults {
         for &workload in &self.workloads {
             let mut row = vec![workload.name().to_string()];
             for index in 0..self.configs.len() {
-                row.push(match self.cell(workload, index) {
-                    Some(summary) => format!("{:.3}", summary.ipc),
-                    None => "-".to_string(),
-                });
+                row.push(self.cell_text(workload, index, |summary| format!("{:.3}", summary.ipc)));
             }
             table.row(row);
         }
@@ -244,12 +369,10 @@ impl ExperimentResults {
             let mut row = vec![workload.name().to_string()];
             let reference = self.cell(workload, reference_index);
             for index in 0..self.configs.len() {
-                row.push(match (self.cell(workload, index), reference) {
-                    (Some(summary), Some(reference)) => {
-                        format!("{:.3}", summary.relative_ipc(reference))
-                    }
-                    _ => "-".to_string(),
-                });
+                row.push(self.cell_text(workload, index, |summary| match reference {
+                    Some(reference) => format!("{:.3}", summary.relative_ipc(reference)),
+                    None => "-".to_string(),
+                }));
             }
             table.row(row);
         }
@@ -272,10 +395,9 @@ impl ExperimentResults {
         for &workload in &self.workloads {
             let mut row = vec![workload.name().to_string()];
             for index in 0..self.configs.len() {
-                row.push(match self.cell(workload, index) {
-                    Some(summary) => format!("{:.3}", metric(summary)),
-                    None => "-".to_string(),
-                });
+                row.push(
+                    self.cell_text(workload, index, |summary| format!("{:.3}", metric(summary))),
+                );
             }
             table.row(row);
         }
@@ -346,8 +468,9 @@ mod tests {
         for (a, b) in serial.rows().iter().zip(parallel.rows()) {
             assert_eq!(a.config_index, b.config_index);
             assert_eq!(a.workload, b.workload);
-            assert_eq!(a.summary.cycles, b.summary.cycles);
-            assert_eq!(a.summary.insts, b.summary.insts);
+            let (a, b) = (a.summary().unwrap(), b.summary().unwrap());
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.insts, b.insts);
         }
         assert_eq!(serial.ipc_table().to_csv(), parallel.ipc_table().to_csv());
     }
@@ -358,5 +481,89 @@ mod tests {
         Experiment::new(Scale::Test, None)
             .workloads(&[Workload::Sort])
             .run();
+    }
+
+    #[test]
+    fn poisoned_cell_fails_alone() {
+        // The acceptance bar for fault-tolerant sweeps: one inconsistent
+        // configuration marks its own cells FAILED while every healthy
+        // cell matches a clean sweep bit-for-bit.
+        let window = Some(6_000);
+        let poisoned = Experiment::new(Scale::Test, window)
+            .config(SimConfig::naive_single_port())
+            .config(
+                SimConfig::naive_single_port()
+                    .with_ports(0)
+                    .named("poisoned"),
+            )
+            .config(SimConfig::dual_port())
+            .workloads(&[Workload::Compress, Workload::Sort])
+            .run();
+        let clean = Experiment::new(Scale::Test, window)
+            .config(SimConfig::naive_single_port())
+            .config(SimConfig::dual_port())
+            .workloads(&[Workload::Compress, Workload::Sort])
+            .run();
+        for workload in [Workload::Compress, Workload::Sort] {
+            let error = poisoned.failure(workload, 1).expect("poisoned cell fails");
+            assert_eq!(error.kind(), "config");
+            let naive = poisoned.cell(workload, 0).expect("healthy cell runs");
+            let dual = poisoned.cell(workload, 2).expect("healthy cell runs");
+            assert_eq!(naive.cycles, clean.cell(workload, 0).unwrap().cycles);
+            assert_eq!(naive.insts, clean.cell(workload, 0).unwrap().insts);
+            assert_eq!(dual.cycles, clean.cell(workload, 1).unwrap().cycles);
+            assert_eq!(dual.insts, clean.cell(workload, 1).unwrap().insts);
+        }
+        assert_eq!(poisoned.failures().len(), 2);
+        let csv = poisoned.ipc_table().to_csv();
+        assert!(csv.contains("FAILED(config)"), "{csv}");
+        // The geomean still covers the healthy columns.
+        assert!(poisoned.geomean_ipc(0) > 0.0);
+        assert_eq!(poisoned.geomean_ipc(1), 0.0);
+    }
+
+    #[test]
+    fn panicking_cells_are_isolated_serially_and_in_parallel() {
+        let experiment = Experiment::new(Scale::Test, Some(4_000))
+            .config(SimConfig::naive_single_port())
+            .config(SimConfig::dual_port().named("haunted"))
+            .workloads(&[Workload::Sort]);
+        let runner: CellRunner<'_> = &|config, workload, scale, max_insts| {
+            if config.name == "haunted" {
+                panic!("synthetic worker crash");
+            }
+            Experiment::run_cell(config, workload, scale, max_insts)
+        };
+        for results in [
+            experiment.run_with_runner(runner, |_, _| {}),
+            experiment.run_parallel_with_runner(runner, 2),
+        ] {
+            let error = results
+                .failure(Workload::Sort, 1)
+                .expect("haunted cell fails");
+            assert_eq!(error.kind(), "panic");
+            assert!(error.to_string().contains("synthetic worker crash"));
+            assert!(results.cell(Workload::Sort, 0).is_some());
+            let csv = results.ipc_table().to_csv();
+            assert!(csv.contains("FAILED(panic)"), "{csv}");
+        }
+    }
+
+    #[test]
+    fn watchdog_cells_retry_at_a_smaller_window() {
+        // The watchdog-aborted cell gets one retry at half the window;
+        // with a watchdog this tight both attempts fail, and the typed
+        // error (not a panic) lands in the row.
+        let mut config = SimConfig::naive_single_port().named("livelocked");
+        config.cpu.watchdog_cycles = 4;
+        let results = Experiment::new(Scale::Test, Some(4_000))
+            .config(config)
+            .config(SimConfig::dual_port())
+            .workloads(&[Workload::Sort])
+            .run();
+        let error = results.failure(Workload::Sort, 0).expect("watchdog fires");
+        assert_eq!(error.kind(), "watchdog");
+        assert!(results.cell(Workload::Sort, 1).is_some());
+        assert!(results.ipc_table().to_csv().contains("FAILED(watchdog)"));
     }
 }

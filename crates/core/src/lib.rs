@@ -30,12 +30,15 @@
 //! ```
 
 mod config;
+mod error;
 mod experiment;
+pub mod faultinject;
 mod metrics;
 mod report;
 mod simulator;
 
 pub use config::SimConfig;
+pub use error::{ConfigError, SimError};
 pub use experiment::{Experiment, ResultRow};
 pub use metrics::RunSummary;
 pub use report::detailed_report;

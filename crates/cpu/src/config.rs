@@ -146,6 +146,13 @@ pub struct CpuConfig {
     /// bandwidth. Off by default — the recorded experiments in
     /// `EXPERIMENTS.md` were run without it.
     pub wrong_path_fetch: bool,
+    /// Livelock watchdog: abort the run with a diagnostic snapshot if no
+    /// instruction commits for this many consecutive cycles (0 disables
+    /// the watchdog). A healthy machine's longest possible commit gap is
+    /// bounded by a few DRAM round-trips, so the default of 100k cycles
+    /// only fires on a genuine modelling deadlock or a pathological
+    /// configuration.
+    pub watchdog_cycles: u64,
 }
 
 impl Default for CpuConfig {
@@ -178,66 +185,79 @@ impl Default for CpuConfig {
             disambiguation: Disambiguation::default(),
             lsq_forward_latency: 1,
             wrong_path_fetch: false,
+            watchdog_cycles: 100_000,
         }
     }
 }
 
 impl CpuConfig {
+    /// Validate cross-field constraints, returning the first violation as
+    /// a message suitable for a typed error.
+    pub fn try_validate(&self) -> Result<(), String> {
+        fn check(ok: bool, message: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(message.to_string())
+            }
+        }
+        check(self.fetch_width >= 1, "fetch width must be at least 1")?;
+        check(
+            self.dispatch_width >= 1,
+            "dispatch width must be at least 1",
+        )?;
+        check(self.issue_width >= 1, "issue width must be at least 1")?;
+        check(self.commit_width >= 1, "commit width must be at least 1")?;
+        check(self.rob_entries >= 1, "the ROB needs at least one entry")?;
+        check(
+            self.load_queue >= 1,
+            "the load queue needs at least one entry",
+        )?;
+        check(
+            self.store_queue >= 1,
+            "the store queue needs at least one entry",
+        )?;
+        check(
+            self.fetch_bytes.is_power_of_two(),
+            "fetch block must be a power of two",
+        )?;
+        match self.predictor {
+            DirPredictorKind::Btfn => {}
+            DirPredictorKind::Bimodal { entries } | DirPredictorKind::Gshare { entries, .. } => {
+                check(
+                    entries.is_power_of_two(),
+                    "predictor table must be a power of two",
+                )?;
+            }
+            DirPredictorKind::Local {
+                history_entries,
+                history_bits,
+            } => {
+                check(
+                    history_entries.is_power_of_two(),
+                    "predictor table must be a power of two",
+                )?;
+                check(history_bits <= 16, "local history limited to 16 bits")?;
+            }
+        }
+        if self.btb_entries > 0 {
+            check(
+                self.btb_entries.is_power_of_two(),
+                "BTB must be a power of two",
+            )?;
+        }
+        Ok(())
+    }
+
     /// Validate cross-field constraints.
     ///
     /// # Panics
     ///
     /// Panics on zero widths, a zero-entry ROB, or a non-power-of-two
-    /// fetch block.
+    /// fetch block. [`CpuConfig::try_validate`] is the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.fetch_width >= 1, "fetch width must be at least 1");
-        assert!(
-            self.dispatch_width >= 1,
-            "dispatch width must be at least 1"
-        );
-        assert!(self.issue_width >= 1, "issue width must be at least 1");
-        assert!(self.commit_width >= 1, "commit width must be at least 1");
-        assert!(self.rob_entries >= 1, "the ROB needs at least one entry");
-        assert!(
-            self.load_queue >= 1,
-            "the load queue needs at least one entry"
-        );
-        assert!(
-            self.store_queue >= 1,
-            "the store queue needs at least one entry"
-        );
-        assert!(
-            self.fetch_bytes.is_power_of_two(),
-            "fetch block must be a power of two"
-        );
-        if let DirPredictorKind::Bimodal { entries } = self.predictor {
-            assert!(
-                entries.is_power_of_two(),
-                "predictor table must be a power of two"
-            );
-        }
-        if let DirPredictorKind::Gshare { entries, .. } = self.predictor {
-            assert!(
-                entries.is_power_of_two(),
-                "predictor table must be a power of two"
-            );
-        }
-        if let DirPredictorKind::Local {
-            history_entries,
-            history_bits,
-        } = self.predictor
-        {
-            assert!(
-                history_entries.is_power_of_two(),
-                "predictor table must be a power of two"
-            );
-            assert!(history_bits <= 16, "local history limited to 16 bits");
-        }
-        if self.btb_entries > 0 {
-            assert!(
-                self.btb_entries.is_power_of_two(),
-                "BTB must be a power of two"
-            );
+        if let Err(message) = self.try_validate() {
+            panic!("{message}");
         }
     }
 }
@@ -282,6 +302,15 @@ mod tests {
             history_bits: 8,
         };
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        let mut c = CpuConfig::default();
+        assert!(c.try_validate().is_ok());
+        c.issue_width = 0;
+        let message = c.try_validate().unwrap_err();
+        assert!(message.contains("issue width"), "{message}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::fu::FuPool;
 use crate::lsq::{range_covers, ranges_overlap, LoadGate};
 use crate::rob::{EntryState, RobEntry};
 use crate::stats::CpuStats;
+use crate::watchdog::WatchdogReport;
 
 /// A simulation's outputs: cycle count, instruction count, and the full
 /// processor/memory statistics.
@@ -129,20 +130,45 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     ///
     /// # Panics
     ///
-    /// Panics if the pipeline makes no progress for an extended period
-    /// (which would indicate a modelling bug, not a program property).
+    /// Panics if the pipeline makes no progress for
+    /// [`CpuConfig::watchdog_cycles`] cycles (which would indicate a
+    /// modelling bug, not a program property). [`Core::try_run`] returns
+    /// the watchdog report as an error instead.
     pub fn run(self, max_insts: Option<u64>) -> SimResult {
         self.run_warmed(0, max_insts)
+    }
+
+    /// Like [`Core::run`], but the livelock watchdog aborts the run with
+    /// a diagnostic [`WatchdogReport`] instead of panicking.
+    pub fn try_run(self, max_insts: Option<u64>) -> Result<SimResult, Box<WatchdogReport>> {
+        self.try_run_warmed(0, max_insts)
     }
 
     /// Like [`Core::run`], but zero every statistic once `warmup_insts`
     /// instructions have committed — caches, predictors and TLBs stay
     /// warm, so the reported window measures steady-state behaviour.
     /// `max_insts` (when given) bounds the *measured* instructions.
-    pub fn run_warmed(mut self, warmup_insts: u64, max_insts: Option<u64>) -> SimResult {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watchdog fires; see [`Core::try_run_warmed`].
+    pub fn run_warmed(self, warmup_insts: u64, max_insts: Option<u64>) -> SimResult {
+        match self.try_run_warmed(warmup_insts, max_insts) {
+            Ok(result) => result,
+            Err(report) => panic!("{report}"),
+        }
+    }
+
+    /// The non-panicking form of [`Core::run_warmed`]: a watchdog abort
+    /// surfaces as an `Err` carrying the machine-state snapshot.
+    pub fn try_run_warmed(
+        mut self,
+        warmup_insts: u64,
+        max_insts: Option<u64>,
+    ) -> Result<SimResult, Box<WatchdogReport>> {
         let limit = max_insts.unwrap_or(u64::MAX);
         let mut warming = warmup_insts > 0;
-        while self.step() {
+        while self.try_step()? {
             if warming && self.stats.committed.get() >= warmup_insts {
                 warming = false;
                 self.stats =
@@ -153,12 +179,12 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 break;
             }
         }
-        SimResult {
+        Ok(SimResult {
             cycles: self.stats.cycles.get(),
             committed: self.stats.committed.get(),
             cpu: self.stats,
             mem: self.mem.stats().clone(),
-        }
+        })
     }
 
     /// `true` when nothing remains anywhere in the machine.
@@ -170,9 +196,25 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     }
 
     /// Simulate one cycle. Returns `false` once the machine has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the livelock watchdog fires; [`Core::try_step`] is the
+    /// non-panicking form.
     pub fn step(&mut self) -> bool {
+        match self.try_step() {
+            Ok(more) => more,
+            Err(report) => panic!("{report}"),
+        }
+    }
+
+    /// Simulate one cycle. `Ok(false)` once the machine has finished;
+    /// `Err` with a diagnostic snapshot when no instruction has committed
+    /// for [`CpuConfig::watchdog_cycles`] consecutive cycles (0 disables
+    /// the watchdog).
+    pub fn try_step(&mut self) -> Result<bool, Box<WatchdogReport>> {
         if self.finished() {
-            return false;
+            return Ok(false);
         }
         let now = self.now;
         self.mem.begin_cycle(now);
@@ -202,20 +244,44 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
 
         if self.stats.committed.get() == committed_before {
             self.stuck_cycles += 1;
-            assert!(
-                self.stuck_cycles < 100_000,
-                "pipeline made no progress for 100k cycles at cycle {now}: \
-                 rob={} fetch_buffer={} serialize={} blocked_on_branch={}",
-                self.rob.len(),
-                self.fetch_buffer.len(),
-                self.serialize,
-                self.fetch_blocked_on_branch,
-            );
+            self.stats.max_commit_gap.record_max(self.stuck_cycles);
+            let limit = self.config.watchdog_cycles;
+            if limit > 0 && self.stuck_cycles >= limit {
+                return Err(Box::new(self.watchdog_report(now, limit)));
+            }
         } else {
             self.stuck_cycles = 0;
         }
         self.now += 1;
-        true
+        Ok(true)
+    }
+
+    /// Snapshot everything the stalled machine could be waiting on.
+    fn watchdog_report(&mut self, now: Cycle, limit: u64) -> WatchdogReport {
+        WatchdogReport {
+            cycle: now,
+            committed: self.stats.committed.get(),
+            limit,
+            rob_len: self.rob.len(),
+            rob_head: self.rob.front().map(|head| {
+                (
+                    head.di.pc,
+                    head.di.inst.op.to_string(),
+                    format!("{:?}", head.state),
+                )
+            }),
+            fetch_buffer_len: self.fetch_buffer.len(),
+            fetch_pc: self
+                .fetch_buffer
+                .front()
+                .map(|fetched| fetched.di.pc)
+                .or_else(|| self.trace.peek().map(|di| di.pc)),
+            loads_in_flight: self.loads_in_flight,
+            stores_in_flight: self.stores_in_flight,
+            serialize: self.serialize,
+            fetch_blocked_on_branch: self.fetch_blocked_on_branch,
+            mem: self.mem.diagnostics(),
+        }
     }
 
     // --- dependency plumbing -------------------------------------------------
@@ -690,6 +756,37 @@ mod tests {
         let result = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
         assert_eq!(result.committed, expected);
         assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn watchdog_trips_on_an_impossible_progress_bound() {
+        // A 4-cycle no-commit limit is shorter than the cold-start
+        // instruction-cache miss, so the very first fetch stall must trip
+        // the watchdog and surface a diagnosable report instead of
+        // spinning or asserting.
+        let mut cpu = CpuConfig::default();
+        cpu.watchdog_cycles = 4;
+        let program = assemble(SUM_LOOP).expect("assembles");
+        let core = Core::new(
+            cpu,
+            MemSystem::new(MemConfig::default()),
+            Emulator::new(program),
+        );
+        let report = core
+            .try_run(None)
+            .expect_err("cold-start miss exceeds 4 cycles");
+        assert_eq!(report.limit, 4);
+        assert_eq!(report.committed, 0);
+        let text = report.to_string();
+        assert!(text.contains("no progress for 4 cycles"), "{text}");
+    }
+
+    #[test]
+    fn watchdog_zero_disables_the_limit() {
+        let mut cpu = CpuConfig::default();
+        cpu.watchdog_cycles = 0;
+        let result = run_src(SUM_LOOP, cpu, MemConfig::default());
+        assert!(result.committed > 0);
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod fu;
 mod lsq;
 mod rob;
 mod stats;
+mod watchdog;
 
 pub use config::{CpuConfig, DirPredictorKind, Disambiguation, FuConfig, FuSpec};
 pub use core::{Core, SimResult};
@@ -56,3 +57,4 @@ pub use cpe_isa::{EmuError, Emulator, SparseMem};
 pub use fu::FuPool;
 pub use rob::{EntryState, RobEntry};
 pub use stats::CpuStats;
+pub use watchdog::WatchdogReport;

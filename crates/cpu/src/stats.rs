@@ -52,6 +52,9 @@ pub struct CpuStats {
     /// Wrong-path instruction blocks fetched while mispredictions resolved
     /// (only when `wrong_path_fetch` is enabled).
     pub wrong_path_blocks: Counter,
+    /// Longest observed run of consecutive cycles without a commit — the
+    /// quantity the livelock watchdog bounds.
+    pub max_commit_gap: Counter,
     /// Distribution of ROB occupancy per cycle.
     pub rob_occupancy: Histogram,
     /// Instructions committed per cycle.
@@ -83,6 +86,7 @@ impl CpuStats {
             dispatch_lsq_full: Counter::new(),
             commit_store_stall_cycles: Counter::new(),
             wrong_path_blocks: Counter::new(),
+            max_commit_gap: Counter::new(),
             rob_occupancy: Histogram::new(rob_entries),
             commits_per_cycle: Histogram::new(commit_width),
         }

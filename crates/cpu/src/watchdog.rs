@@ -1,0 +1,123 @@
+//! Livelock/deadlock watchdog report.
+//!
+//! The timing core promises forward progress: on a healthy machine the
+//! gap between commits is bounded by a few DRAM round-trips. When no
+//! instruction commits for [`crate::CpuConfig::watchdog_cycles`]
+//! consecutive cycles, the run loop aborts and hands back this snapshot
+//! of everything the machine could have been waiting on, so a modelling
+//! deadlock (or a pathological configuration) is diagnosable from the
+//! report alone instead of from a spinning process.
+
+use std::fmt;
+
+use cpe_mem::MemDiagnostics;
+
+/// What the machine looked like when the watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Cycle at which the watchdog gave up.
+    pub cycle: u64,
+    /// Instructions committed before progress stopped.
+    pub committed: u64,
+    /// The configured no-commit limit that was exceeded.
+    pub limit: u64,
+    /// ROB occupancy at abort.
+    pub rob_len: usize,
+    /// The stalled ROB head: `(pc, op, state)` — the instruction the
+    /// whole machine is waiting on — or `None` if the ROB was empty.
+    pub rob_head: Option<(u64, String, String)>,
+    /// Fetched-but-undispatched instructions.
+    pub fetch_buffer_len: usize,
+    /// The next program counter fetch would pursue, if known.
+    pub fetch_pc: Option<u64>,
+    /// Loads issued to the memory system and not yet committed.
+    pub loads_in_flight: usize,
+    /// Stores dispatched and not yet committed.
+    pub stores_in_flight: usize,
+    /// A serialising instruction (syscall/eret) was in flight.
+    pub serialize: bool,
+    /// Fetch was halted waiting for a mispredicted transfer to resolve.
+    pub fetch_blocked_on_branch: bool,
+    /// Occupancy of the memory hierarchy's transient structures.
+    pub mem: MemDiagnostics,
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline made no progress for {} cycles (cycle {}, {} committed): ",
+            self.limit, self.cycle, self.committed
+        )?;
+        match &self.rob_head {
+            Some((pc, op, state)) => write!(
+                f,
+                "ROB head {op} @ {pc:#x} [{state}], {} entries",
+                self.rob_len
+            )?,
+            None => write!(f, "ROB empty")?,
+        }
+        write!(
+            f,
+            "; fetch_buffer={} fetch_pc={} loads={} stores={} serialize={} \
+             blocked_on_branch={}; mem: store_buffer={} outstanding_misses={} quiesced={}",
+            self.fetch_buffer_len,
+            self.fetch_pc
+                .map_or_else(|| "-".to_string(), |pc| format!("{pc:#x}")),
+            self.loads_in_flight,
+            self.stores_in_flight,
+            self.serialize,
+            self.fetch_blocked_on_branch,
+            self.mem.store_buffer_len,
+            self.mem.outstanding_misses,
+            self.mem.quiesced,
+        )
+    }
+}
+
+impl std::error::Error for WatchdogReport {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> WatchdogReport {
+        WatchdogReport {
+            cycle: 123_456,
+            committed: 42,
+            limit: 1_000,
+            rob_len: 3,
+            rob_head: Some((0x1_0040, "ld".to_string(), "Issued".to_string())),
+            fetch_buffer_len: 5,
+            fetch_pc: Some(0x1_0080),
+            loads_in_flight: 1,
+            stores_in_flight: 2,
+            serialize: false,
+            fetch_blocked_on_branch: true,
+            mem: MemDiagnostics {
+                store_buffer_len: 4,
+                outstanding_misses: 2,
+                quiesced: false,
+            },
+        }
+    }
+
+    #[test]
+    fn display_names_the_suspects() {
+        let text = report().to_string();
+        assert!(text.contains("no progress for 1000 cycles"), "{text}");
+        assert!(text.contains("ld @ 0x10040"), "{text}");
+        assert!(text.contains("outstanding_misses=2"), "{text}");
+        assert!(text.contains("blocked_on_branch=true"), "{text}");
+    }
+
+    #[test]
+    fn display_handles_an_empty_rob() {
+        let mut r = report();
+        r.rob_head = None;
+        r.fetch_pc = None;
+        let text = r.to_string();
+        assert!(text.contains("ROB empty"), "{text}");
+        assert!(text.contains("fetch_pc=-"), "{text}");
+    }
+}

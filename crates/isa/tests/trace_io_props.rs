@@ -1,9 +1,16 @@
 //! Property tests for the trace file format: lossless round-tripping of
-//! arbitrary well-formed records, and graceful rejection of corruption.
+//! arbitrary well-formed records, and graceful rejection of corruption —
+//! each class of damage must surface as its matching [`TraceIoError`]
+//! variant, never as a panic or a silent truncation.
 
-use cpe_isa::trace_io::{write_trace, TraceReader};
-use cpe_isa::{DynInst, Inst, Mode, Op, Reg};
+use cpe_isa::trace_io::{write_trace, TraceIoError, TraceReader};
+use cpe_isa::{decode, DynInst, Inst, Mode, Op, Reg};
 use proptest::prelude::*;
+
+/// Byte offsets inside a serialized trace: an 8-byte header, then
+/// records of `flags u8, pc u64, inst u64, next_pc u64 [, mem_addr u64]`.
+const HEADER_BYTES: usize = 8;
+const MIN_RECORD_BYTES: usize = 25;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
     (0u8..64).prop_map(|i| Reg::from_index(i).unwrap())
@@ -67,13 +74,90 @@ proptest! {
         write_trace(&mut buffer, records).unwrap();
         let index = position.index(buffer.len());
         buffer[index] = value;
+        // Header corruption is a fine rejection; a surviving header must
+        // still give bounded consumption (the iterator fuses on error).
+        if let Ok(reader) = TraceReader::new(buffer.as_slice()) {
+            let drained: Vec<_> = reader.collect();
+            prop_assert!(drained.len() <= 25);
+        }
+    }
+
+    /// A file cut off inside the header is an I/O error (unexpected EOF),
+    /// not a decode attempt on garbage.
+    #[test]
+    fn truncated_headers_are_io_errors(
+        records in prop::collection::vec(arb_record(), 1..4),
+        keep in 0usize..HEADER_BYTES,
+    ) {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, records).unwrap();
+        buffer.truncate(keep);
         match TraceReader::new(buffer.as_slice()) {
-            Ok(reader) => {
-                // Bounded consumption: the iterator fuses on error.
-                let drained: Vec<_> = reader.collect();
-                prop_assert!(drained.len() <= 25);
+            Err(TraceIoError::Io(error)) => {
+                prop_assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof);
             }
-            Err(_) => {} // header corruption is a fine rejection
+            other => prop_assert!(false, "expected Io(UnexpectedEof), got {:?}", other),
+        }
+    }
+
+    /// A file cut off inside a record surfaces exactly one
+    /// `Io(UnexpectedEof)` as its final item.
+    #[test]
+    fn truncated_records_are_io_errors(
+        records in prop::collection::vec(arb_record(), 1..20),
+        cut in 1usize..MIN_RECORD_BYTES,
+    ) {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, records).unwrap();
+        // Every record is at least MIN_RECORD_BYTES, so removing fewer
+        // bytes than that always tears the last record mid-field.
+        buffer.truncate(buffer.len() - cut);
+        let results: Vec<_> = TraceReader::new(buffer.as_slice()).unwrap().collect();
+        match results.last() {
+            Some(Err(TraceIoError::Io(error))) => {
+                prop_assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => prop_assert!(false, "expected a final Io error, got {:?}", other),
+        }
+        prop_assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    /// Undefined bits in a record's flags byte are rejected as
+    /// `BadFlags`, echoing the offending byte.
+    #[test]
+    fn undefined_flag_bits_are_bad_flags(
+        records in prop::collection::vec(arb_record(), 1..8),
+        noise in 1u8..32,
+    ) {
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, records).unwrap();
+        // Bits 0..=2 are defined; fold the noise into bits 3..=7.
+        let poisoned = buffer[HEADER_BYTES] | (noise << 3);
+        buffer[HEADER_BYTES] = poisoned;
+        let first = TraceReader::new(buffer.as_slice()).unwrap().next().unwrap();
+        match first {
+            Err(TraceIoError::BadFlags(flags)) => prop_assert_eq!(flags, poisoned),
+            other => prop_assert!(false, "expected BadFlags, got {:?}", other),
+        }
+    }
+
+    /// An instruction word that does not decode is rejected as
+    /// `BadInst`, carrying the decoder's own diagnosis.
+    #[test]
+    fn undecodable_instruction_words_are_bad_inst(
+        records in prop::collection::vec(arb_record(), 1..8),
+        word in any::<u64>(),
+    ) {
+        prop_assume!(decode(word).is_err());
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, records).unwrap();
+        // The first record's inst field sits after its flags byte and pc.
+        let inst_offset = HEADER_BYTES + 1 + 8;
+        buffer[inst_offset..inst_offset + 8].copy_from_slice(&word.to_le_bytes());
+        let first = TraceReader::new(buffer.as_slice()).unwrap().next().unwrap();
+        match first {
+            Err(TraceIoError::BadInst(_)) => {}
+            other => prop_assert!(false, "expected BadInst, got {:?}", other),
         }
     }
 }

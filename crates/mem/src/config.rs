@@ -50,27 +50,35 @@ impl CacheGeometry {
         self
     }
 
+    /// Check the geometry's invariants, returning the first violation as
+    /// a message suitable for a typed error.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !self.capacity_bytes.is_power_of_two() {
+            return Err("capacity must be a power of two".to_string());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line size must be a power of two".to_string());
+        }
+        if self.ways < 1 {
+            return Err("at least one way".to_string());
+        }
+        match self.line_bytes.checked_mul(u64::from(self.ways)) {
+            Some(way_bytes) if way_bytes <= self.capacity_bytes => {}
+            _ => return Err("line size × ways exceeds capacity".to_string()),
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!(
+                "set count must be a power of two (capacity {} / ways {} / line {})",
+                self.capacity_bytes, self.ways, self.line_bytes
+            ));
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(
-            self.capacity_bytes.is_power_of_two(),
-            "capacity must be a power of two"
-        );
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(self.ways >= 1, "at least one way");
-        assert!(
-            self.line_bytes * u64::from(self.ways) <= self.capacity_bytes,
-            "line size × ways exceeds capacity"
-        );
-        assert!(
-            self.sets().is_power_of_two(),
-            "set count must be a power of two (capacity {} / ways {} / line {})",
-            self.capacity_bytes,
-            self.ways,
-            self.line_bytes
-        );
+        if let Err(message) = self.try_validate() {
+            panic!("{message}");
+        }
     }
 
     /// Number of sets.
@@ -277,39 +285,66 @@ impl Default for MemConfig {
 }
 
 impl MemConfig {
+    /// Validate cross-field constraints (including every cache geometry),
+    /// returning the first violation as a message suitable for a typed
+    /// error.
+    pub fn try_validate(&self) -> Result<(), String> {
+        fn check(ok: bool, message: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(message.to_string())
+            }
+        }
+        for (label, geometry) in [
+            ("D-cache", &self.dcache),
+            ("I-cache", &self.icache),
+            ("L2", &self.l2),
+        ] {
+            geometry
+                .try_validate()
+                .map_err(|message| format!("{label}: {message}"))?;
+        }
+        check(self.ports.count >= 1, "at least one data-cache port")?;
+        check(
+            self.ports.width_bytes.is_power_of_two(),
+            "port width must be a power of two",
+        )?;
+        check(
+            self.ports.width_bytes <= self.dcache.line_bytes,
+            "port wider than the cache line",
+        )?;
+        check(
+            self.line_buffers.width_bytes.is_power_of_two(),
+            "line-buffer width must be a power of two",
+        )?;
+        check(
+            self.ports.banks <= 1 || self.ports.banks.is_power_of_two(),
+            "bank count must be a power of two",
+        )?;
+        check(
+            self.line_buffers.width_bytes <= self.dcache.line_bytes,
+            "line buffer wider than the cache line",
+        )?;
+        check(self.mshrs >= 1, "at least one MSHR")?;
+        check(
+            self.latencies.fill_interval >= 1,
+            "fill interval must be at least 1",
+        )?;
+        Ok(())
+    }
+
     /// Validate cross-field constraints.
     ///
     /// # Panics
     ///
     /// Panics when the port or line-buffer width is not a power of two, is
     /// wider than the L1 line, or when `ports.count` is zero.
+    /// [`MemConfig::try_validate`] is the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.ports.count >= 1, "at least one data-cache port");
-        assert!(
-            self.ports.width_bytes.is_power_of_two(),
-            "port width must be a power of two"
-        );
-        assert!(
-            self.ports.width_bytes <= self.dcache.line_bytes,
-            "port wider than the cache line"
-        );
-        assert!(
-            self.line_buffers.width_bytes.is_power_of_two(),
-            "line-buffer width must be a power of two"
-        );
-        assert!(
-            self.ports.banks <= 1 || self.ports.banks.is_power_of_two(),
-            "bank count must be a power of two"
-        );
-        assert!(
-            self.line_buffers.width_bytes <= self.dcache.line_bytes,
-            "line buffer wider than the cache line"
-        );
-        assert!(self.mshrs >= 1, "at least one MSHR");
-        assert!(
-            self.latencies.fill_interval >= 1,
-            "fill interval must be at least 1"
-        );
+        if let Err(message) = self.try_validate() {
+            panic!("{message}");
+        }
     }
 }
 
@@ -367,6 +402,19 @@ mod tests {
         let mut c = MemConfig::default();
         c.ports.count = 0;
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_covers_the_geometries() {
+        let mut c = MemConfig::default();
+        assert!(c.try_validate().is_ok());
+        c.dcache.ways = 0;
+        let message = c.try_validate().unwrap_err();
+        assert!(message.contains("D-cache"), "{message}");
+        // Direct field mutation used to bypass geometry validation
+        // entirely; a zero-way cache must now be caught before it can
+        // divide by zero inside set indexing.
+        assert!(message.contains("way"), "{message}");
     }
 
     #[test]

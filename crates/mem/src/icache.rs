@@ -145,7 +145,10 @@ mod tests {
         let elsewhere = i.fetch(miss.ready_at + 1, Addr::new(0x9000), &mut b, &mut s);
         assert!(!elsewhere.hit);
         let back = i.fetch(elsewhere.ready_at + 1, Addr::new(0x1000), &mut b, &mut s);
-        assert!(back.hit, "the first block was installed despite the interleaving");
+        assert!(
+            back.hit,
+            "the first block was installed despite the interleaving"
+        );
     }
 
     #[test]

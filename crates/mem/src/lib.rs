@@ -76,7 +76,7 @@ pub use mshr::{MshrFile, MshrResult};
 pub use replacement::ReplacementPolicy;
 pub use stats::MemStats;
 pub use store_buffer::{ForwardResult, StoreBuffer, StoreEntry};
-pub use system::MemSystem;
+pub use system::{MemDiagnostics, MemSystem};
 pub use tlb::{Tlb, TlbConfig};
 pub use victim::VictimCache;
 

@@ -8,6 +8,18 @@ use crate::stats::MemStats;
 use crate::tlb::Tlb;
 use crate::{Addr, Cycle};
 
+/// Point-in-time view of the memory system's transient occupancy — what
+/// a stuck machine was waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDiagnostics {
+    /// Entries waiting in the store buffer.
+    pub store_buffer_len: usize,
+    /// Data-side misses outstanding in the MSHRs.
+    pub outstanding_misses: usize,
+    /// `true` when no buffered store or outstanding miss remains.
+    pub quiesced: bool,
+}
+
 /// The full hierarchy: L1 I/D, line/store buffers, MSHRs, L2, fill bus,
 /// DRAM, and all statistics.
 ///
@@ -131,6 +143,16 @@ impl MemSystem {
     /// Outstanding data-side misses.
     pub fn outstanding_misses(&self) -> usize {
         self.dcache.outstanding_misses()
+    }
+
+    /// Snapshot of the hierarchy's transient state, for diagnostics such
+    /// as the CPU watchdog's abort report.
+    pub fn diagnostics(&self) -> MemDiagnostics {
+        MemDiagnostics {
+            store_buffer_len: self.dcache.store_buffer_len(),
+            outstanding_misses: self.dcache.outstanding_misses(),
+            quiesced: self.dcache.is_quiesced(),
+        }
     }
 
     /// The data TLB (inspection only).

@@ -56,6 +56,13 @@ impl Counter {
         self.0 = 0;
     }
 
+    /// Raise the count to `value` if it is larger (a running maximum,
+    /// e.g. the longest observed commit gap).
+    #[inline]
+    pub fn record_max(&mut self, value: u64) {
+        self.0 = self.0.max(value);
+    }
+
     /// This counter as a fraction of `denominator`.
     pub fn ratio(self, denominator: Counter) -> Ratio {
         Ratio {

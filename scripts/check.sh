@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Pre-flight quality gate: formatting, lints, and the tier-1 suite.
+#
+# Usage: scripts/check.sh
+#
+# Runs the same checks CI runs, in the same order, stopping at the first
+# failure. Intended both standalone and as the pre-flight for
+# scripts/run_all_experiments.sh — a multi-hour experiment run should
+# never start on a tree that fails a sub-minute gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check" >&2
+cargo fmt --check
+
+echo "== cargo clippy --workspace -D warnings" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test" >&2
+cargo build --release
+cargo test -q
+
+echo "all checks passed" >&2

@@ -4,12 +4,20 @@
 # Usage: scripts/run_all_experiments.sh [output.md] [--quick]
 #   output.md  transcript destination (default: experiment_results.md)
 #   --quick    smoke-scale run (passed through to every binary)
+#
+# Set CPE_SKIP_CHECKS=1 to skip the pre-flight quality gate (useful when
+# iterating on one experiment with a tree scripts/check.sh already
+# vetted).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-experiment_results.md}"
 shift || true
 flags=("$@")
+
+if [[ "${CPE_SKIP_CHECKS:-0}" != 1 ]]; then
+    scripts/check.sh
+fi
 
 cargo build --release -p cpe-bench --bins
 

@@ -9,9 +9,14 @@
 //! cpe record <file.s> -o <trace>    record the executed path to a trace file
 //! cpe replay <trace> [--config NAME] [--max N]
 //!                                   run the timing model over a recorded trace
+//! cpe fuzz-trace [--cases N] [--seed S] [--config NAME]
+//!                                   replay corrupted traces; fail on any panic
 //! cpe workloads                     list the built-in workload suite
 //! cpe configs                       list the named machine configurations
 //! ```
+//!
+//! Malformed numeric flags and unknown flags are rejected up front, and
+//! every failure path exits with code 2 after a one-line diagnosis.
 
 use std::process::ExitCode;
 
@@ -19,7 +24,7 @@ use cpe::isa::trace_io::{write_trace, TraceReader};
 use cpe::isa::{asm::assemble, Emulator, Program};
 use cpe::stats::Table;
 use cpe::workloads::{Scale, Workload};
-use cpe::{SimConfig, Simulator};
+use cpe::{faultinject, SimConfig, SimError, Simulator};
 
 fn all_configs() -> Vec<SimConfig> {
     vec![
@@ -46,6 +51,43 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|arg| arg == flag)
         .and_then(|index| args.get(index + 1).cloned())
+}
+
+/// A numeric flag value; a malformed one is an error, never a silent
+/// fallback to the default.
+fn parse_number<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match parse_flag(args, flag) {
+        None => Ok(None),
+        Some(text) => text.parse().map(Some).map_err(|_| {
+            format!("invalid value for {flag}: `{text}` (expected a non-negative integer)")
+        }),
+    }
+}
+
+/// Reject flags a subcommand does not define. `value_flags` consume the
+/// following argument; `switches` stand alone.
+fn reject_unknown_flags(
+    args: &[String],
+    value_flags: &[&str],
+    switches: &[&str],
+) -> Result<(), String> {
+    let mut index = 0;
+    while index < args.len() {
+        let arg = args[index].as_str();
+        if value_flags.contains(&arg) {
+            if index + 1 >= args.len() {
+                return Err(format!("{arg} needs a value"));
+            }
+            index += 2;
+        } else if switches.contains(&arg) {
+            index += 1;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag `{arg}`\n\n{}", usage()));
+        } else {
+            index += 1;
+        }
+    }
+    Ok(())
 }
 
 fn cmd_asm(path: &str) -> Result<(), String> {
@@ -143,12 +185,38 @@ fn cmd_replay(path: &str, config_name: Option<String>, max: Option<u64>) -> Resu
     };
     let file =
         std::fs::File::open(path).map_err(|error| format!("cannot open `{path}`: {error}"))?;
-    let reader =
-        TraceReader::new(std::io::BufReader::new(file)).map_err(|error| error.to_string())?;
-    let trace = reader.map(|record| record.expect("corrupt trace record"));
-    let summary = Simulator::new(config).run_trace(path, trace, max);
-    println!("{summary}");
-    Ok(())
+    let reader = TraceReader::new(std::io::BufReader::new(file))
+        .map_err(|error| format!("{path}: {error}"))?;
+    match Simulator::new(config).try_run_trace_results(path, reader, max) {
+        Ok(summary) => {
+            println!("{summary}");
+            Ok(())
+        }
+        Err(SimError::Trace { index, message }) => Err(format!(
+            "{path}: replay stopped at record {index}: {message}"
+        )),
+        Err(error) => Err(format!("{path}: {error}")),
+    }
+}
+
+fn cmd_fuzz_trace(config_name: Option<String>, cases: u64, seed: u64) -> Result<(), String> {
+    let config = match config_name.as_deref() {
+        None | Some("combined_single_port") => SimConfig::combined_single_port(),
+        Some(other) => config_by_name(other)
+            .ok_or_else(|| format!("unknown config `{other}` (see `cpe configs`)"))?,
+    };
+    println!("config: {config}");
+    println!("seed: {seed:#x}");
+    let report = faultinject::fuzz_traces(&config, cases, seed);
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "fuzzing violated the no-panic contract in {} case(s)",
+            report.panics.len()
+        ))
+    }
 }
 
 fn cmd_workloads() {
@@ -174,47 +242,65 @@ fn cmd_configs() {
 fn usage() -> &'static str {
     "usage:\n  cpe asm <file.s>\n  cpe trace <file.s> [-n N]\n  cpe run <file.s> \
      [--config NAME] [--max N]\n  cpe compare <file.s> [--max N]\n  cpe record <file.s> \
-     -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  cpe workloads\n  cpe configs"
+     -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  cpe fuzz-trace \
+     [--cases N] [--seed S] [--config NAME]\n  cpe workloads\n  cpe configs"
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("asm") if args.len() >= 2 => cmd_asm(&args[1]),
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("asm") if args.len() >= 2 => {
+            reject_unknown_flags(&args[1..], &[], &[])?;
+            cmd_asm(&args[1])
+        }
         Some("trace") if args.len() >= 2 => {
-            let count = parse_flag(&args, "-n")
-                .and_then(|value| value.parse().ok())
-                .unwrap_or(50);
+            reject_unknown_flags(&args[1..], &["-n"], &[])?;
+            let count = parse_number(args, "-n")?.unwrap_or(50);
             cmd_trace(&args[1], count)
         }
         Some("run") if args.len() >= 2 => {
-            let max = parse_flag(&args, "--max").and_then(|value| value.parse().ok());
+            reject_unknown_flags(&args[1..], &["--config", "--max"], &["--detail"])?;
+            let max = parse_number(args, "--max")?;
             let detail = args.iter().any(|arg| arg == "--detail");
-            cmd_run(&args[1], parse_flag(&args, "--config"), max, detail)
+            cmd_run(&args[1], parse_flag(args, "--config"), max, detail)
         }
         Some("compare") if args.len() >= 2 => {
-            let max = parse_flag(&args, "--max").and_then(|value| value.parse().ok());
+            reject_unknown_flags(&args[1..], &["--max"], &[])?;
+            let max = parse_number(args, "--max")?;
             cmd_compare(&args[1], max)
         }
         Some("record") if args.len() >= 2 => {
-            let output = parse_flag(&args, "-o").unwrap_or_else(|| "trace.cpet".to_string());
+            reject_unknown_flags(&args[1..], &["-o"], &[])?;
+            let output = parse_flag(args, "-o").unwrap_or_else(|| "trace.cpet".to_string());
             cmd_record(&args[1], &output)
         }
         Some("replay") if args.len() >= 2 => {
-            let max = parse_flag(&args, "--max").and_then(|value| value.parse().ok());
-            cmd_replay(&args[1], parse_flag(&args, "--config"), max)
+            reject_unknown_flags(&args[1..], &["--config", "--max"], &[])?;
+            let max = parse_number(args, "--max")?;
+            cmd_replay(&args[1], parse_flag(args, "--config"), max)
+        }
+        Some("fuzz-trace") => {
+            reject_unknown_flags(&args[1..], &["--config", "--cases", "--seed"], &[])?;
+            let cases = parse_number(args, "--cases")?.unwrap_or(500);
+            let seed = parse_number(args, "--seed")?.unwrap_or(0xC0FFEE);
+            cmd_fuzz_trace(parse_flag(args, "--config"), cases, seed)
         }
         Some("workloads") => {
+            reject_unknown_flags(&args[1..], &[], &[])?;
             cmd_workloads();
             Ok(())
         }
         Some("configs") => {
+            reject_unknown_flags(&args[1..], &[], &[])?;
             cmd_configs();
             Ok(())
         }
         _ => Err(usage().to_string()),
-    };
-    match result {
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("{message}");

@@ -34,7 +34,10 @@
 //! assert!(recovered > 0.5 && recovered <= 1.2);
 //! ```
 
-pub use cpe_core::{detailed_report, Experiment, ResultRow, RunSummary, SimConfig, Simulator};
+pub use cpe_core::{
+    detailed_report, faultinject, ConfigError, Experiment, ResultRow, RunSummary, SimConfig,
+    SimError, Simulator,
+};
 
 /// The miniature RISC ISA: instructions, assembler, functional emulator.
 pub mod isa {

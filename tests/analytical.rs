@@ -111,8 +111,8 @@ fn mispredicts_cap_ipc_from_above() {
     use cpe::workloads::{Scale, Workload};
     let summary =
         Simulator::new(SimConfig::ideal_ports()).run(Workload::Sort, Scale::Test, Some(40_000));
-    let mispredicts_per_inst = summary.mispredict_rate * summary.raw.cpu.branches.as_f64()
-        / summary.insts.max(1) as f64;
+    let mispredicts_per_inst =
+        summary.mispredict_rate * summary.raw.cpu.branches.as_f64() / summary.insts.max(1) as f64;
     // Each mispredict costs at least resolve (≥2 cycles) + redirect (3).
     let ceiling = 1.0 / (0.25 + mispredicts_per_inst * 5.0);
     assert!(

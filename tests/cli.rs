@@ -43,7 +43,10 @@ fn asm_lists_the_program() {
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("main:"), "{stdout}");
-    assert!(stdout.contains("ld x7, 0(x5)") || stdout.contains("ld "), "{stdout}");
+    assert!(
+        stdout.contains("ld x7, 0(x5)") || stdout.contains("ld "),
+        "{stdout}"
+    );
     assert!(stdout.contains("instructions"), "{stdout}");
 }
 
@@ -135,7 +138,9 @@ fn workloads_and_configs_listings() {
     let workloads = cpe().arg("workloads").output().unwrap();
     assert!(workloads.status.success());
     let stdout = String::from_utf8_lossy(&workloads.stdout);
-    for name in ["compress", "mpeg", "db", "fft", "sort", "pmake", "matmul", "vm"] {
+    for name in [
+        "compress", "mpeg", "db", "fft", "sort", "pmake", "matmul", "vm",
+    ] {
         assert!(stdout.contains(name), "missing {name}: {stdout}");
     }
 
@@ -145,6 +150,85 @@ fn workloads_and_configs_listings() {
     for name in ["1-port naive", "2-port", "1-port combined"] {
         assert!(stdout.contains(name), "missing {name}: {stdout}");
     }
+}
+
+#[test]
+fn replay_of_a_corrupt_trace_names_the_record_and_exits_2() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let trace = dir.join("corrupt.cpet");
+    let recorded = cpe()
+        .args(["record"])
+        .arg(&program)
+        .arg("-o")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(recorded.status.success());
+
+    // Chop mid-record: the replay must stop there, not unwind.
+    let mut bytes = std::fs::read(&trace).unwrap();
+    let len = bytes.len();
+    bytes.truncate(len - 7);
+    std::fs::write(&trace, &bytes).unwrap();
+
+    let output = cpe().args(["replay"]).arg(&trace).output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("stopped at record"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn malformed_numeric_flags_are_rejected() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    for (sub, flag) in [("run", "--max"), ("compare", "--max"), ("trace", "-n")] {
+        let output = cpe()
+            .arg(sub)
+            .arg(&program)
+            .args([flag, "not-a-number"])
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(2), "{sub} {flag}");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(&format!("invalid value for {flag}")),
+            "{sub}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let output = cpe()
+        .args(["run"])
+        .arg(&program)
+        .args(["--frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown flag `--frobnicate`"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn fuzz_trace_reports_a_clean_campaign() {
+    let output = cpe()
+        .args(["fuzz-trace", "--cases", "25", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("fuzzed 25 corrupted traces"), "{stdout}");
+    assert!(stdout.contains("no panics, no hangs"), "{stdout}");
 }
 
 #[test]

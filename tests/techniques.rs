@@ -41,6 +41,10 @@ fn store_buffer_removes_commit_stalls() {
     let mut synth = memory_heavy_stream();
     synth.load_fraction = 0.08;
     synth.store_fraction = 0.14;
+    // The repeating body quantises the store fraction to the 63 slots the
+    // generator actually draws; this seed yields a mix that stays within
+    // the single port's drain bandwidth, which the property requires.
+    synth.seed = 11;
     let unbuffered = run_synth(SimConfig::naive_single_port(), synth);
     let buffered = run_synth(
         SimConfig::naive_single_port()
