@@ -14,7 +14,11 @@
 //!   utilisation, portless-load fraction, miss ratios, kernel/user
 //!   breakdowns);
 //! * [`Experiment`] — a sweep runner producing `cpe-stats` tables, used by
-//!   the benchmark harness to regenerate the paper's tables and figures.
+//!   the benchmark harness to regenerate the paper's tables and figures;
+//! * [`Simulator::try_profile`] — an instrumented run producing interval
+//!   ("epoch") metrics, a self-profile, and — with the `trace` feature —
+//!   the retained `cpe-trace` event window; [`profile_json`] renders the
+//!   whole thing as a self-describing `--metrics-json` document.
 //!
 //! # Quickstart
 //!
@@ -33,13 +37,17 @@ mod config;
 mod error;
 mod experiment;
 pub mod faultinject;
+pub mod json;
 mod metrics;
+mod observe;
 mod report;
 mod simulator;
 
 pub use config::SimConfig;
 pub use error::{ConfigError, SimError};
 pub use experiment::{Experiment, ResultRow};
+pub use json::{config_json, profile_json, summary_json, METRICS_SCHEMA};
 pub use metrics::RunSummary;
+pub use observe::{EpochMetrics, MetricsSeries, ProfileOptions, ProfiledRun, SelfProfile};
 pub use report::detailed_report;
 pub use simulator::Simulator;

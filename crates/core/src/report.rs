@@ -1,8 +1,18 @@
 //! Full-detail textual reports for a single run.
 
-use cpe_stats::Table;
+use cpe_stats::{percent, Table};
 
 use crate::metrics::RunSummary;
+
+/// Two-decimal percentage with the same non-finite guard as
+/// [`percent`] — a `0/0` ratio renders as `"-"`, never `"NaN%"`.
+fn percent2(fraction: f64) -> String {
+    if fraction.is_finite() {
+        format!("{:.2}%", fraction * 100.0)
+    } else {
+        "-".to_string()
+    }
+}
 
 /// Render a multi-section report covering every counter group of a run:
 /// the headline metrics, where loads were served, store-path behaviour,
@@ -32,7 +42,7 @@ pub fn detailed_report(summary: &RunSummary) -> String {
         ])
         .row([
             "kernel instruction share",
-            &format!("{:.1}%", summary.kernel_fraction * 100.0),
+            &percent(summary.kernel_fraction),
         ])
         .row([
             "loads / stores per ki",
@@ -45,10 +55,7 @@ pub fn detailed_report(summary: &RunSummary) -> String {
             "D-MPKI / I-MPKI",
             &format!("{:.2} / {:.2}", summary.dcache_mpki, summary.icache_mpki),
         ])
-        .row([
-            "branch mispredict rate",
-            &format!("{:.2}%", summary.mispredict_rate * 100.0),
-        ]);
+        .row(["branch mispredict rate", &percent2(summary.mispredict_rate)]);
     out.push_str(&t.to_markdown());
 
     section(&mut out, "load sourcing");
@@ -80,9 +87,9 @@ pub fn detailed_report(summary: &RunSummary) -> String {
         .row([
             "write-combined",
             &format!(
-                "{} ({:.1}%)",
+                "{} ({})",
                 mem.store_combined.get(),
-                summary.store_combined_fraction * 100.0
+                percent(summary.store_combined_fraction)
             ),
         ])
         .row([
@@ -98,24 +105,21 @@ pub fn detailed_report(summary: &RunSummary) -> String {
 
     section(&mut out, "ports and hierarchy");
     let mut t = Table::new(["metric", "value"]);
-    t.row([
-        "port utilisation",
-        &format!("{:.1}%", summary.port_utilisation * 100.0),
-    ])
-    .row([
-        "bank conflicts / ki",
-        &format!("{:.2}", summary.bank_conflicts_per_kinst),
-    ])
-    .row([
-        "L2 hits / misses",
-        &format!("{} / {}", mem.l2_hits.get(), mem.l2_misses.get()),
-    ])
-    .row(["writebacks", &mem.writebacks.get().to_string()])
-    .row([
-        "prefetches (useful)",
-        &format!("{} ({})", mem.prefetches.get(), mem.prefetch_useful.get()),
-    ])
-    .row(["victim-cache hits", &mem.victim_hits.get().to_string()]);
+    t.row(["port utilisation", &percent(summary.port_utilisation)])
+        .row([
+            "bank conflicts / ki",
+            &format!("{:.2}", summary.bank_conflicts_per_kinst),
+        ])
+        .row([
+            "L2 hits / misses",
+            &format!("{} / {}", mem.l2_hits.get(), mem.l2_misses.get()),
+        ])
+        .row(["writebacks", &mem.writebacks.get().to_string()])
+        .row([
+            "prefetches (useful)",
+            &format!("{} ({})", mem.prefetches.get(), mem.prefetch_useful.get()),
+        ])
+        .row(["victim-cache hits", &mem.victim_hits.get().to_string()]);
     out.push_str(&t.to_markdown());
 
     section(&mut out, "pipeline friction");
@@ -190,6 +194,26 @@ mod tests {
         }
         assert!(report.contains("IPC"));
         assert!(report.contains('#'), "charts render bars");
+    }
+
+    #[test]
+    fn zero_instruction_trace_renders_without_nan() {
+        // A run that commits nothing: every rate in the report has a zero
+        // denominator somewhere upstream. No row may render NaN or inf.
+        let summary = Simulator::new(SimConfig::naive_single_port()).run_trace(
+            "empty",
+            std::iter::empty(),
+            None,
+        );
+        assert_eq!(summary.insts, 0);
+        assert_eq!(summary.raw.mem.loads.get(), 0);
+        assert_eq!(summary.raw.mem.stores.get(), 0);
+        let report = detailed_report(&summary);
+        assert!(!report.contains("NaN"), "{report}");
+        assert!(!report.contains("inf"), "{report}");
+        // The one-line Display form must survive the same run.
+        let line = summary.to_string();
+        assert!(!line.contains("NaN"), "{line}");
     }
 
     #[test]

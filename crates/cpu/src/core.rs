@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use cpe_isa::{DynInst, Mode, Op, OpClass, Reg, INST_BYTES};
 use cpe_mem::{Addr, Cycle, LoadOutcome, MemStats, MemSystem, StoreOutcome};
+use cpe_trace::{EventKind, TraceHandle};
 
 use crate::bpred::{Btb, DirectionPredictor, Ras};
 use crate::config::{CpuConfig, DirPredictorKind, Disambiguation};
@@ -89,6 +90,9 @@ pub struct Core<I: Iterator<Item = DynInst>> {
     last_mode: Mode,
     /// Deadlock detector: cycles since the last commit or dispatch.
     stuck_cycles: u64,
+    /// Observability: pipeline-stage events flow through here. Detached
+    /// (a no-op) unless [`Core::set_trace`] attaches a ring.
+    tracer: TraceHandle,
 }
 
 impl<I: Iterator<Item = DynInst>> Core<I> {
@@ -122,7 +126,17 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             stores_in_flight: 0,
             last_mode: Mode::User,
             stuck_cycles: 0,
+            tracer: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace handle. The core emits fetch/issue/commit and
+    /// watchdog events through it, and a clone is forwarded to the
+    /// memory system for the port-attribution events. With the `trace`
+    /// feature off (or a detached handle) every emission is a no-op.
+    pub fn set_trace(&mut self, handle: TraceHandle) {
+        self.mem.set_trace(handle.clone());
+        self.tracer = handle;
     }
 
     /// Run until the stream is drained and the machine quiesces, or until
@@ -258,6 +272,12 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
 
     /// Snapshot everything the stalled machine could be waiting on.
     fn watchdog_report(&mut self, now: Cycle, limit: u64) -> WatchdogReport {
+        self.tracer.emit(
+            now,
+            EventKind::WatchdogSnapshot,
+            self.rob.front().map_or(0, |head| head.di.pc),
+            self.rob.len() as u32,
+        );
         WatchdogReport {
             cycle: now,
             committed: self.stats.committed.get(),
@@ -359,6 +379,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             }
             let entry = self.rob.pop_front().expect("checked above");
             let op = entry.di.inst.op;
+            self.tracer.emit(now, EventKind::Commit, entry.di.pc, 0);
             if op.is_load() {
                 self.loads_in_flight -= 1;
                 self.stats.loads.inc();
@@ -413,6 +434,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                             entry.state = EntryState::Issued;
                             entry.ready_at = now + self.config.lsq_forward_latency;
                             self.stats.lsq_forwards.inc();
+                            self.tracer
+                                .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
                             issued += 1;
                         }
                         LoadGate::Go => {
@@ -426,6 +449,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                                     let entry = &mut self.rob[i];
                                     entry.state = EntryState::Issued;
                                     entry.ready_at = at;
+                                    self.tracer
+                                        .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
                                     issued += 1;
                                 }
                                 LoadOutcome::NoPort
@@ -449,6 +474,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         let entry = &mut self.rob[i];
                         entry.state = EntryState::Issued;
                         entry.ready_at = done_at;
+                        self.tracer
+                            .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
                         issued += 1;
                     }
                 }
@@ -462,6 +489,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         let entry = &mut self.rob[i];
                         entry.state = EntryState::Issued;
                         entry.ready_at = done_at;
+                        self.tracer
+                            .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
                         issued += 1;
                         if mispredicted {
                             // The redirect leaves when the branch resolves.
@@ -604,6 +633,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 break; // the next block waits for the next cycle
             }
             let di = self.trace.next().expect("peeked above");
+            self.tracer.emit(now, EventKind::Fetch, di.pc, 0);
             fetched += 1;
             let misprediction = self.predict(now, &di);
             let mispredicted = misprediction.is_some();

@@ -9,6 +9,11 @@
 
 use std::collections::HashSet;
 
+use cpe_trace::{
+    EventKind, TraceHandle, PORT_GRANT_L1_HIT, PORT_GRANT_MISS, PORT_GRANT_MISS_MERGED,
+    PORT_GRANT_VICTIM_HIT,
+};
+
 use crate::cache::{Cache, ProbeResult};
 use crate::config::{
     Latencies, LineBufferConfig, MemConfig, PortConfig, StoreBufferConfig, WritePolicy,
@@ -92,6 +97,9 @@ pub struct DCache {
     /// Recently evicted lines (victim cache; may be empty).
     victims: VictimCache,
     write_policy: WritePolicy,
+    /// Observability tap: a detached handle (the default) costs one
+    /// branch per emission site, and a capture-less build none at all.
+    trace: TraceHandle,
 }
 
 impl DCache {
@@ -119,7 +127,14 @@ impl DCache {
             prefetched_pending: HashSet::new(),
             victims: VictimCache::new(config.victim_cache),
             write_policy: config.write_policy,
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach (or detach) the event tracer. Tracing only observes; it
+    /// never alters timing.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Route an evicted L1 line through the victim cache; whatever the
@@ -210,6 +225,7 @@ impl DCache {
         self.cycle_banks.clear();
         let line_bytes = self.line_bytes();
         for (line_addr, dirty) in self.mshr.take_completed(now) {
+            self.trace.emit(now, EventKind::MshrRetire, line_addr, 0);
             if let Some(victim) = self.cache.fill(Addr::new(line_addr), dirty) {
                 // Anything buffered from the departing line is stale, and
                 // an unused prefetched victim can no longer earn credit.
@@ -235,6 +251,7 @@ impl DCache {
             ForwardResult::Full => {
                 stats.loads.inc();
                 stats.load_sb_forwards.inc();
+                self.trace.emit(now, EventKind::StoreForward, addr.get(), 0);
                 return LoadOutcome::Ready {
                     at: now + self.latencies.store_forward,
                     source: LoadSource::StoreForward,
@@ -242,6 +259,7 @@ impl DCache {
             }
             ForwardResult::Partial => {
                 stats.load_sb_conflicts.inc();
+                self.trace.emit(now, EventKind::SbConflict, addr.get(), 0);
                 return LoadOutcome::Conflict;
             }
             ForwardResult::None => {}
@@ -252,6 +270,8 @@ impl DCache {
             let at = data_ready.max(now + self.latencies.line_buffer_hit);
             stats.loads.inc();
             stats.load_lb_hits.inc();
+            self.trace
+                .emit(now, EventKind::LineBufferHit, addr.get(), 0);
             return LoadOutcome::Ready {
                 at,
                 source: LoadSource::LineBuffer,
@@ -266,6 +286,7 @@ impl DCache {
             if let Some(&(_, ready)) = self.cycle_chunks.iter().find(|&&(c, _)| c == chunk.get()) {
                 stats.loads.inc();
                 stats.load_combined.inc();
+                self.trace.emit(now, EventKind::LoadCombine, addr.get(), 0);
                 return LoadOutcome::Ready {
                     at: ready,
                     source: LoadSource::Combined,
@@ -276,12 +297,15 @@ impl DCache {
         // 4. A real port access.
         if self.slots_used >= self.ports.count {
             stats.load_no_port.inc();
+            self.trace.emit(now, EventKind::PortConflict, addr.get(), 0);
             return LoadOutcome::NoPort;
         }
         if let Some(bank) = self.ports.bank_of(addr.get()) {
             if self.cycle_banks.contains(&bank) {
                 stats.bank_conflicts.inc();
                 stats.load_no_port.inc();
+                self.trace
+                    .emit(now, EventKind::BankConflict, addr.get(), bank);
                 return LoadOutcome::NoPort;
             }
             self.cycle_banks.push(bank);
@@ -298,6 +322,7 @@ impl DCache {
                 } else if let Some(fill_at) = self.mshr.lookup(line.get()) {
                     self.mshr.request(line.get(), fill_at, false);
                     self.credit_prefetch(line.get(), stats);
+                    self.trace.emit(now, EventKind::MshrMerge, line.get(), 0);
                     (
                         fill_at.max(now + self.latencies.l1_hit),
                         LoadSource::MissMerged,
@@ -305,24 +330,41 @@ impl DCache {
                 } else if self.mshr.is_full() {
                     self.slots_used += 1;
                     stats.load_mshr_full.inc();
+                    self.trace.emit(now, EventKind::MshrFull, addr.get(), 0);
                     return LoadOutcome::MshrFull;
                 } else {
                     let fill_at = backside.fetch_line(now, line, stats);
                     let result = self.mshr.request(line.get(), fill_at, false);
                     debug_assert_eq!(result, MshrResult::Allocated(fill_at));
                     self.maybe_prefetch(now, line, backside, stats);
+                    self.trace.emit(now, EventKind::MshrAlloc, line.get(), 0);
                     (fill_at, LoadSource::Miss)
                 }
             }
         };
         self.slots_used += 1;
         stats.loads.inc();
-        match source {
-            LoadSource::L1Hit | LoadSource::VictimHit => stats.load_l1_hits.inc(),
-            LoadSource::MissMerged => stats.load_miss_merged.inc(),
-            LoadSource::Miss => stats.load_misses.inc(),
+        let grant_code = match source {
+            LoadSource::L1Hit => {
+                stats.load_l1_hits.inc();
+                PORT_GRANT_L1_HIT
+            }
+            LoadSource::VictimHit => {
+                stats.load_l1_hits.inc();
+                PORT_GRANT_VICTIM_HIT
+            }
+            LoadSource::MissMerged => {
+                stats.load_miss_merged.inc();
+                PORT_GRANT_MISS_MERGED
+            }
+            LoadSource::Miss => {
+                stats.load_misses.inc();
+                PORT_GRANT_MISS
+            }
             _ => unreachable!("port path sources only"),
-        }
+        };
+        self.trace
+            .emit(now, EventKind::PortGrant, addr.get(), grant_code);
         if fits_chunk {
             self.cycle_chunks.push((chunk.get(), at));
         }
@@ -352,24 +394,31 @@ impl DCache {
                 stats.stores.inc();
                 if self.store_buffer.combined() > combined_before {
                     stats.store_combined.inc();
+                    self.trace.emit(now, EventKind::StoreCombine, addr.get(), 0);
+                } else {
+                    self.trace.emit(now, EventKind::StoreCommit, addr.get(), 0);
                 }
                 // The stored bytes supersede anything a line buffer holds.
                 self.line_buffers.invalidate_overlapping(addr, bytes);
                 StoreOutcome::Accepted
             } else {
                 stats.store_rejected.inc();
+                self.trace.emit(now, EventKind::StoreReject, addr.get(), 0);
                 StoreOutcome::Rejected
             }
         } else {
             // Unbuffered: the store needs a port slot right now.
             if self.slots_used >= self.ports.count {
                 stats.store_rejected.inc();
+                self.trace.emit(now, EventKind::StoreReject, addr.get(), 0);
                 return StoreOutcome::Rejected;
             }
             if let Some(bank) = self.ports.bank_of(addr.get()) {
                 if self.cycle_banks.contains(&bank) {
                     stats.bank_conflicts.inc();
                     stats.store_rejected.inc();
+                    self.trace
+                        .emit(now, EventKind::BankConflict, addr.get(), bank);
                     return StoreOutcome::Rejected;
                 }
                 self.cycle_banks.push(bank);
@@ -379,12 +428,14 @@ impl DCache {
                     self.slots_used += 1;
                     stats.stores.inc();
                     self.line_buffers.invalidate_overlapping(addr, bytes);
+                    self.trace.emit(now, EventKind::StoreCommit, addr.get(), 0);
                     StoreOutcome::Accepted
                 }
                 Err(()) => {
                     // MSHR full: the tag probe consumed the slot.
                     self.slots_used += 1;
                     stats.store_rejected.inc();
+                    self.trace.emit(now, EventKind::StoreReject, addr.get(), 0);
                     StoreOutcome::Rejected
                 }
             }
@@ -410,6 +461,8 @@ impl DCache {
                     self.slots_used += 1;
                     self.store_buffer.pop();
                     stats.store_drains.inc();
+                    self.trace
+                        .emit(now, EventKind::StoreDrain, entry.chunk_addr, 0);
                 }
                 Err(()) => break, // MSHR full: try again next cycle
             }

@@ -135,6 +135,12 @@ impl MemSystem {
         &self.config
     }
 
+    /// Attach a trace handle; the data cache emits port-attribution
+    /// events through it. A detached handle (the default) is a no-op.
+    pub fn set_trace(&mut self, trace: cpe_trace::TraceHandle) {
+        self.dcache.set_trace(trace);
+    }
+
     /// Entries currently waiting in the store buffer.
     pub fn store_buffer_len(&self) -> usize {
         self.dcache.store_buffer_len()

@@ -25,8 +25,10 @@ mod counter;
 mod histogram;
 mod summary;
 mod table;
+mod timeseries;
 
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
 pub use summary::{geometric_mean, harmonic_mean, mean, percent, Summary};
 pub use table::Table;
+pub use timeseries::TimeSeries;

@@ -43,8 +43,15 @@ pub fn harmonic_mean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
 }
 
 /// Format a fraction as a fixed-width percentage string (`"91.3%"`).
+///
+/// Non-finite input (a `0/0` ratio upstream) renders as `"-"` rather than
+/// `"NaN%"`, so report tables for degenerate runs stay readable.
 pub fn percent(fraction: f64) -> String {
-    format!("{:.1}%", fraction * 100.0)
+    if fraction.is_finite() {
+        format!("{:.1}%", fraction * 100.0)
+    } else {
+        "-".to_string()
+    }
 }
 
 /// Five-number summary plus mean for a result set.
@@ -169,6 +176,13 @@ mod tests {
     fn percent_formats() {
         assert_eq!(percent(0.913), "91.3%");
         assert_eq!(percent(1.0), "100.0%");
+    }
+
+    #[test]
+    fn percent_guards_non_finite_ratios() {
+        assert_eq!(percent(f64::NAN), "-");
+        assert_eq!(percent(f64::INFINITY), "-");
+        assert_eq!(percent(f64::NEG_INFINITY), "-");
     }
 
     proptest! {

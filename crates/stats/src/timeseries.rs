@@ -1,0 +1,209 @@
+//! Fixed-interval time series — the shape of the simulator's epoch
+//! metrics (one sample every N cycles).
+
+use std::fmt;
+
+/// A sequence of samples taken at a fixed interval, with cheap summary
+/// statistics and a terminal-friendly sparkline.
+///
+/// ```
+/// use cpe_stats::TimeSeries;
+///
+/// let mut ipc = TimeSeries::new("ipc", 1000);
+/// ipc.push(0.8);
+/// ipc.push(1.2);
+/// ipc.push(1.0);
+/// assert_eq!(ipc.len(), 3);
+/// assert_eq!(ipc.max(), Some(1.2));
+/// assert_eq!(ipc.sparkline(8).chars().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    interval: u64,
+    samples: Vec<f64>,
+}
+
+/// The glyph ramp used by [`TimeSeries::sparkline`].
+const SPARK_RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+impl TimeSeries {
+    /// An empty series named `name`, sampled every `interval` units
+    /// (cycles, in the simulator's case).
+    pub fn new(name: &str, interval: u64) -> TimeSeries {
+        TimeSeries {
+            name: name.to_string(),
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Append a sample. Non-finite values are recorded as 0.0 so one
+    /// degenerate epoch cannot poison the summary statistics.
+    pub fn push(&mut self, value: f64) {
+        self.samples
+            .push(if value.is_finite() { value } else { 0.0 });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples, in order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        crate::mean(self.samples.iter().copied())
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().copied()
+    }
+
+    /// A Unicode sparkline of at most `width` glyphs (the series is
+    /// bucket-averaged down when longer). A flat series renders at
+    /// mid-height; an empty one as `""`.
+    pub fn sparkline(&self, width: usize) -> String {
+        if self.samples.is_empty() || width == 0 {
+            return String::new();
+        }
+        // Average down to `width` buckets when oversampled.
+        let buckets: Vec<f64> = if self.samples.len() <= width {
+            self.samples.clone()
+        } else {
+            (0..width)
+                .map(|b| {
+                    let lo = b * self.samples.len() / width;
+                    let hi = ((b + 1) * self.samples.len() / width).max(lo + 1);
+                    self.samples[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+                })
+                .collect()
+        };
+        let min = buckets.iter().copied().reduce(f64::min).unwrap_or(0.0);
+        let max = buckets.iter().copied().reduce(f64::max).unwrap_or(0.0);
+        let span = max - min;
+        buckets
+            .iter()
+            .map(|&v| {
+                if span <= f64::EPSILON {
+                    SPARK_RAMP[SPARK_RAMP.len() / 2]
+                } else {
+                    let level = ((v - min) / span * (SPARK_RAMP.len() - 1) as f64).round();
+                    SPARK_RAMP[level as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min(), self.mean(), self.max()) {
+            (Some(min), Some(mean), Some(max)) => write!(
+                f,
+                "{}: n={} min={:.3} mean={:.3} max={:.3} {}",
+                self.name,
+                self.len(),
+                min,
+                mean,
+                max,
+                self.sparkline(32),
+            ),
+            _ => write!(f, "{}: (empty)", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new("test", 100);
+        for &v in values {
+            ts.push(v);
+        }
+        ts
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let ts = series(&[1.0, 3.0, 2.0]);
+        assert_eq!(ts.min(), Some(1.0));
+        assert_eq!(ts.max(), Some(3.0));
+        assert_eq!(ts.mean(), Some(2.0));
+        assert_eq!(ts.last(), Some(2.0));
+        assert_eq!(ts.interval(), 100);
+        assert_eq!(ts.name(), "test");
+    }
+
+    #[test]
+    fn empty_series_is_harmless() {
+        let ts = TimeSeries::new("empty", 10);
+        assert!(ts.is_empty());
+        assert_eq!(ts.min(), None);
+        assert_eq!(ts.sparkline(10), "");
+        assert!(ts.to_string().contains("(empty)"));
+    }
+
+    #[test]
+    fn non_finite_samples_are_clamped() {
+        let ts = series(&[1.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(ts.samples(), &[1.0, 0.0, 0.0]);
+        assert_eq!(ts.mean(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn sparkline_spans_the_ramp() {
+        let ts = series(&[0.0, 1.0]);
+        let line = ts.sparkline(8);
+        assert_eq!(line.chars().count(), 2);
+        assert_eq!(line.chars().next(), Some('▁'));
+        assert_eq!(line.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_downsamples_long_series() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ts = series(&values);
+        let line = ts.sparkline(16);
+        assert_eq!(line.chars().count(), 16);
+    }
+
+    #[test]
+    fn flat_series_renders_mid_height() {
+        let ts = series(&[2.0, 2.0, 2.0]);
+        let line = ts.sparkline(8);
+        assert!(line.chars().all(|c| c == '▅'), "{line}");
+    }
+}

@@ -1,0 +1,213 @@
+//! The compact event record and its taxonomy.
+
+use std::fmt;
+
+/// What happened. Every kind is a single point event stamped with the
+/// cycle it occurred in; the taxonomy mirrors the port-slot attribution
+/// question the suite exists to answer — for each reference, did it take
+/// a port slot, get served portlessly, or stall?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An instruction entered the fetch buffer (`addr` = pc).
+    Fetch,
+    /// An instruction left the window for a functional unit or the cache
+    /// (`addr` = pc, `arg` = operation-class code).
+    Issue,
+    /// An instruction retired from the ROB head (`addr` = pc).
+    Commit,
+    /// A load took a real port slot (`addr` = address, `arg` =
+    /// [`PORT_GRANT_L1_HIT`](crate::PORT_GRANT_L1_HIT)-family source code).
+    PortGrant,
+    /// A load found every port slot taken and will retry next cycle.
+    PortConflict,
+    /// An access lost arbitration to a same-bank access this cycle.
+    BankConflict,
+    /// A load was served by a line buffer — no port slot consumed.
+    LineBufferHit,
+    /// A load shared another load's same-chunk port access this cycle.
+    LoadCombine,
+    /// A load was forwarded from a buffered (committed) store.
+    StoreForward,
+    /// A buffered store overlaps the load only partially; the load waits
+    /// for the buffer to drain.
+    SbConflict,
+    /// A load needed a new MSHR and none was free.
+    MshrFull,
+    /// A new outstanding miss was allocated (`addr` = line address).
+    MshrAlloc,
+    /// A load merged into an existing outstanding miss (`addr` = line).
+    MshrMerge,
+    /// A completed fill installed its line and freed the MSHR (`addr` =
+    /// line address).
+    MshrRetire,
+    /// A committed store entered the store buffer (or wrote through a
+    /// port when unbuffered).
+    StoreCommit,
+    /// A committed store write-combined into an existing buffer entry.
+    StoreCombine,
+    /// A committed store was rejected (buffer full / no slot) and commit
+    /// stalled behind it.
+    StoreReject,
+    /// A buffered store drained through an idle port slot.
+    StoreDrain,
+    /// The livelock watchdog fired; `addr` = stalled ROB-head pc (0 when
+    /// the ROB was empty), `arg` = ROB occupancy.
+    WatchdogSnapshot,
+}
+
+/// `arg` codes attached to [`EventKind::PortGrant`]: where the granted
+/// port access was served from.
+pub const PORT_GRANT_L1_HIT: u32 = 0;
+/// See [`PORT_GRANT_L1_HIT`] — served by a victim-cache swap.
+pub const PORT_GRANT_VICTIM_HIT: u32 = 1;
+/// See [`PORT_GRANT_L1_HIT`] — merged into an outstanding miss.
+pub const PORT_GRANT_MISS_MERGED: u32 = 2;
+/// See [`PORT_GRANT_L1_HIT`] — started a new miss.
+pub const PORT_GRANT_MISS: u32 = 3;
+
+impl EventKind {
+    /// Every kind, in declaration order — handy for tests and legends.
+    pub const ALL: [EventKind; 19] = [
+        EventKind::Fetch,
+        EventKind::Issue,
+        EventKind::Commit,
+        EventKind::PortGrant,
+        EventKind::PortConflict,
+        EventKind::BankConflict,
+        EventKind::LineBufferHit,
+        EventKind::LoadCombine,
+        EventKind::StoreForward,
+        EventKind::SbConflict,
+        EventKind::MshrFull,
+        EventKind::MshrAlloc,
+        EventKind::MshrMerge,
+        EventKind::MshrRetire,
+        EventKind::StoreCommit,
+        EventKind::StoreCombine,
+        EventKind::StoreReject,
+        EventKind::StoreDrain,
+        EventKind::WatchdogSnapshot,
+    ];
+
+    /// Stable snake_case name, used verbatim by every sink.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Fetch => "fetch",
+            EventKind::Issue => "issue",
+            EventKind::Commit => "commit",
+            EventKind::PortGrant => "port_grant",
+            EventKind::PortConflict => "port_conflict",
+            EventKind::BankConflict => "bank_conflict",
+            EventKind::LineBufferHit => "line_buffer_hit",
+            EventKind::LoadCombine => "load_combine",
+            EventKind::StoreForward => "store_forward",
+            EventKind::SbConflict => "sb_conflict",
+            EventKind::MshrFull => "mshr_full",
+            EventKind::MshrAlloc => "mshr_alloc",
+            EventKind::MshrMerge => "mshr_merge",
+            EventKind::MshrRetire => "mshr_retire",
+            EventKind::StoreCommit => "store_commit",
+            EventKind::StoreCombine => "store_combine",
+            EventKind::StoreReject => "store_reject",
+            EventKind::StoreDrain => "store_drain",
+            EventKind::WatchdogSnapshot => "watchdog_snapshot",
+        }
+    }
+
+    /// Coarse grouping — one timeline lane per category in the Chrome
+    /// sink, so related events render as one track.
+    pub fn category(self) -> &'static str {
+        match self {
+            EventKind::Fetch | EventKind::Issue | EventKind::Commit => "pipeline",
+            EventKind::PortGrant | EventKind::PortConflict | EventKind::BankConflict => "port",
+            EventKind::LineBufferHit
+            | EventKind::LoadCombine
+            | EventKind::StoreForward
+            | EventKind::SbConflict => "portless",
+            EventKind::MshrFull
+            | EventKind::MshrAlloc
+            | EventKind::MshrMerge
+            | EventKind::MshrRetire => "mshr",
+            EventKind::StoreCommit
+            | EventKind::StoreCombine
+            | EventKind::StoreReject
+            | EventKind::StoreDrain => "store",
+            EventKind::WatchdogSnapshot => "diag",
+        }
+    }
+
+    /// The Chrome-sink timeline lane (`tid`) for this kind's category.
+    pub fn lane(self) -> u32 {
+        match self.category() {
+            "pipeline" => 0,
+            "port" => 1,
+            "portless" => 2,
+            "store" => 3,
+            "mshr" => 4,
+            _ => 5,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One traced occurrence: 24 bytes, `Copy`, no heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event occurred in.
+    pub cycle: u64,
+    /// Subject address: a pc for pipeline events, a data or line address
+    /// for memory events, 0 when not meaningful.
+    pub addr: u64,
+    /// Kind-specific small payload (source code, ROB occupancy, …).
+    pub arg: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Shorthand constructor.
+    pub fn new(cycle: u64, kind: EventKind, addr: u64, arg: u32) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            addr,
+            arg,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in EventKind::ALL {
+            let name = kind.name();
+            assert!(seen.insert(name), "duplicate name {name}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kind_has_a_lane_under_six() {
+        for kind in EventKind::ALL {
+            assert!(kind.lane() < 6, "{kind}");
+        }
+    }
+
+    #[test]
+    fn event_stays_compact() {
+        assert!(std::mem::size_of::<TraceEvent>() <= 24);
+    }
+}

@@ -20,4 +20,10 @@ echo "== tier-1: cargo build --release && cargo test" >&2
 cargo build --release
 cargo test -q
 
+# The trace feature gates every emission site; both halves of the cfg
+# must keep building. The feature-on release build is covered above.
+echo "== trace feature off: cargo build --release --no-default-features" >&2
+cargo build --release -p cpe --no-default-features
+cargo test -q -p cpe-core --no-default-features --lib
+
 echo "all checks passed" >&2

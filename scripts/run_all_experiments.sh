@@ -20,6 +20,7 @@ if [[ "${CPE_SKIP_CHECKS:-0}" != 1 ]]; then
 fi
 
 cargo build --release -p cpe-bench --bins
+cargo build --release -p cpe --bins
 
 core=(table1_config table2_workloads fig1_ports fig2_store_buffer
       fig3_wide_port fig4_line_buffers fig5_headline fig6_os_breakdown
@@ -35,3 +36,20 @@ for exp in "${core[@]}" "${extensions[@]}"; do
 done
 echo "wrote $out" >&2
 grep -c "^SHAPE OK" "$out" | xargs -I{} echo "{} shape checks passed" >&2
+
+# Machine-readable companion artifacts: one self-describing metrics
+# document per paper workload, next to the transcript. Each embeds the
+# machine configuration, the end-of-run summary, per-epoch interval
+# metrics, and the run's self-profile (see docs/OBSERVABILITY.md).
+metrics_dir="${out%.md}_metrics"
+mkdir -p "$metrics_dir"
+profile_max=200000
+for flag in "${flags[@]}"; do
+    [[ "$flag" == --quick ]] && profile_max=5000
+done
+for w in compress mpeg db fft sort pmake; do
+    echo "profiling $w" >&2
+    ./target/release/cpe profile --workload "$w" --max "$profile_max" \
+        --metrics-json "$metrics_dir/$w.json" > /dev/null
+done
+echo "wrote $metrics_dir/{compress,mpeg,db,fft,sort,pmake}.json" >&2

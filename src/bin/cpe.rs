@@ -3,9 +3,15 @@
 //! ```text
 //! cpe asm <file.s>                  assemble and print the listing
 //! cpe trace <file.s> [-n N]         print the first N executed instructions
-//! cpe run <file.s> [--config NAME] [--max N] [--detail]
+//! cpe run <file.s> [--config NAME] [--max N] [--detail] [--metrics-json FILE]
 //!                                   run the timing model, print the metrics
-//! cpe compare <file.s> [--max N]    run every design point, print a table
+//! cpe profile --workload NAME [--config NAME] [--scale S] [--max N]
+//!             [--interval N] [--ring N] [--trace-out FILE]
+//!             [--trace-format chrome|jsonl] [--metrics-json FILE]
+//!                                   instrumented run: interval metrics,
+//!                                   trace-event capture, self-profile
+//! cpe compare <file.s> [--max N] [--metrics-json FILE]
+//!                                   run every design point, print a table
 //! cpe record <file.s> -o <trace>    record the executed path to a trace file
 //! cpe replay <trace> [--config NAME] [--max N]
 //!                                   run the timing model over a recorded trace
@@ -23,8 +29,9 @@ use std::process::ExitCode;
 use cpe::isa::trace_io::{write_trace, TraceReader};
 use cpe::isa::{asm::assemble, Emulator, Program};
 use cpe::stats::Table;
+use cpe::trace::{chrome_trace_json, jsonl_record, TraceHandle};
 use cpe::workloads::{Scale, Workload};
-use cpe::{faultinject, SimConfig, SimError, Simulator};
+use cpe::{faultinject, profile_json, ProfileOptions, ProfiledRun, SimConfig, SimError, Simulator};
 
 fn all_configs() -> Vec<SimConfig> {
     vec![
@@ -39,6 +46,17 @@ fn all_configs() -> Vec<SimConfig> {
 
 fn config_by_name(name: &str) -> Option<SimConfig> {
     all_configs().into_iter().find(|config| config.name == name)
+}
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    Workload::EXTENDED
+        .iter()
+        .copied()
+        .find(|workload| workload.name() == name)
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|error| format!("cannot write `{path}`: {error}"))
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
@@ -117,43 +135,148 @@ fn cmd_trace(path: &str, count: usize) -> Result<(), String> {
     Ok(())
 }
 
+fn resolve_config(config_name: Option<String>) -> Result<SimConfig, String> {
+    let name = config_name.unwrap_or_else(|| "combined_single_port".to_string());
+    match name.as_str() {
+        "combined_single_port" => Ok(SimConfig::combined_single_port()),
+        other => config_by_name(other)
+            .ok_or_else(|| format!("unknown config `{other}` (see `cpe configs`)")),
+    }
+}
+
+fn print_summary(summary: &cpe::RunSummary) {
+    println!("{summary}");
+    println!(
+        "  mispredict {:.2}%  D-MPKI {:.2}  I-MPKI {:.2}  stores combined {:.1}%  \
+         store-stall/kc {:.1}",
+        summary.mispredict_rate * 100.0,
+        summary.dcache_mpki,
+        summary.icache_mpki,
+        summary.store_combined_fraction * 100.0,
+        summary.store_stall_per_kcycle
+    );
+}
+
 fn cmd_run(
     path: &str,
     config_name: Option<String>,
     max: Option<u64>,
     detail: bool,
+    metrics_json: Option<String>,
 ) -> Result<(), String> {
-    let name = config_name.unwrap_or_else(|| "combined_single_port".to_string());
-    let config = match name.as_str() {
-        "combined_single_port" => SimConfig::combined_single_port(),
-        other => config_by_name(other)
-            .ok_or_else(|| format!("unknown config `{other}` (see `cpe configs`)"))?,
-    };
+    let config = resolve_config(config_name)?;
     let program = load_program(path)?;
-    let summary = Simulator::new(config).run_trace(path, Emulator::new(program), max);
-    if detail {
-        println!("{}", cpe::detailed_report(&summary));
+    let sim = Simulator::new(config);
+    // Plain runs keep the direct path; --detail and --metrics-json go
+    // through the profiling driver (identical timing, richer output).
+    if detail || metrics_json.is_some() {
+        let run = sim
+            .try_profile_trace(path, Emulator::new(program), max, ProfileOptions::default())
+            .map_err(|error| format!("{path}: {error}"))?;
+        if let Some(out) = &metrics_json {
+            write_file(out, &profile_json(&run, sim.config()))?;
+        }
+        if detail {
+            println!("{}", cpe::detailed_report(&run.summary));
+            println!("{}", run.self_profile.one_liner());
+        } else {
+            print_summary(&run.summary);
+        }
     } else {
-        println!("{summary}");
-        println!(
-            "  mispredict {:.2}%  D-MPKI {:.2}  I-MPKI {:.2}  stores combined {:.1}%  \
-             store-stall/kc {:.1}",
-            summary.mispredict_rate * 100.0,
-            summary.dcache_mpki,
-            summary.icache_mpki,
-            summary.store_combined_fraction * 100.0,
-            summary.store_stall_per_kcycle
-        );
+        let summary = sim.run_trace(path, Emulator::new(program), max);
+        print_summary(&summary);
     }
     Ok(())
 }
 
-fn cmd_compare(path: &str, max: Option<u64>) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let workload_name = parse_flag(args, "--workload")
+        .ok_or_else(|| format!("profile needs --workload NAME\n\n{}", usage()))?;
+    let workload = workload_by_name(&workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}` (see `cpe workloads`)"))?;
+    let scale = match parse_flag(args, "--scale").as_deref() {
+        None | Some("test") => Scale::Test,
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        Some(other) => return Err(format!("unknown scale `{other}` (test, small, full)")),
+    };
+    let config = resolve_config(parse_flag(args, "--config"))?;
+    let max = parse_number(args, "--max")?;
+    let defaults = ProfileOptions::default();
+    let options = ProfileOptions {
+        interval: parse_number(args, "--interval")?.unwrap_or(defaults.interval),
+        ring_capacity: parse_number(args, "--ring")?.unwrap_or(defaults.ring_capacity),
+    };
+    let trace_format = parse_flag(args, "--trace-format").unwrap_or_else(|| "chrome".to_string());
+    if trace_format != "chrome" && trace_format != "jsonl" {
+        return Err(format!(
+            "unknown trace format `{trace_format}` (chrome, jsonl)"
+        ));
+    }
+
+    let sim = Simulator::new(config);
+    let run = sim
+        .try_profile(workload, scale, max, options)
+        .map_err(|error| format!("{workload_name}: {error}"))?;
+    print_summary(&run.summary);
+    println!(
+        "epochs: {} × {} cycles",
+        run.series.epochs.len(),
+        run.series.interval
+    );
+    println!("  {}", run.series.ipc_series());
+    println!("  {}", run.series.port_utilisation_series());
+
+    if let Some(path) = parse_flag(args, "--trace-out") {
+        let rendered = match trace_format.as_str() {
+            "chrome" => chrome_trace_json(&run.events),
+            _ => {
+                let mut lines: Vec<String> = run.events.iter().map(jsonl_record).collect();
+                lines.push(String::new()); // trailing newline
+                lines.join("\n")
+            }
+        };
+        write_file(&path, &rendered)?;
+        println!(
+            "wrote {} trace events to {path} ({trace_format})",
+            run.events.len()
+        );
+        if !TraceHandle::CAPTURE {
+            println!("note: built without the `trace` feature — no events were captured");
+        }
+    }
+    if let Some(path) = parse_flag(args, "--metrics-json") {
+        write_file(&path, &profile_json(&run, sim.config()))?;
+        println!("wrote metrics to {path}");
+    }
+    println!("{}", run.self_profile.one_liner());
+    Ok(())
+}
+
+fn cmd_compare(path: &str, max: Option<u64>, metrics_json: Option<String>) -> Result<(), String> {
     let program = load_program(path)?;
     let mut table = Table::new(["config", "IPC", "cycles", "port util %", "portless loads %"]);
+    let mut profiles: Vec<(SimConfig, ProfiledRun)> = Vec::new();
     for config in all_configs() {
         let name = config.name.clone();
-        let summary = Simulator::new(config).run_trace(path, Emulator::new(program.clone()), max);
+        let sim = Simulator::new(config);
+        // The profiled and plain paths produce identical summaries; the
+        // sweep only pays for profiling when it will export the series.
+        let summary = if metrics_json.is_some() {
+            let run = sim
+                .try_profile_trace(
+                    path,
+                    Emulator::new(program.clone()),
+                    max,
+                    ProfileOptions::default(),
+                )
+                .map_err(|error| format!("{path}: {error}"))?;
+            let summary = run.summary.clone();
+            profiles.push((sim.config().clone(), run));
+            summary
+        } else {
+            sim.run_trace(path, Emulator::new(program.clone()), max)
+        };
         table.row([
             name,
             format!("{:.3}", summary.ipc),
@@ -163,6 +286,21 @@ fn cmd_compare(path: &str, max: Option<u64>) -> Result<(), String> {
         ]);
     }
     println!("{table}");
+    if let Some(out) = metrics_json {
+        let runs: Vec<String> = profiles
+            .iter()
+            .map(|(config, run)| profile_json(run, config))
+            .collect();
+        write_file(
+            &out,
+            &format!(
+                "{{\"schema\":{},\"runs\":[{}]}}",
+                cpe::METRICS_SCHEMA,
+                runs.join(",")
+            ),
+        )?;
+        println!("wrote metrics for {} configs to {out}", runs.len());
+    }
     Ok(())
 }
 
@@ -241,9 +379,12 @@ fn cmd_configs() {
 
 fn usage() -> &'static str {
     "usage:\n  cpe asm <file.s>\n  cpe trace <file.s> [-n N]\n  cpe run <file.s> \
-     [--config NAME] [--max N]\n  cpe compare <file.s> [--max N]\n  cpe record <file.s> \
-     -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  cpe fuzz-trace \
-     [--cases N] [--seed S] [--config NAME]\n  cpe workloads\n  cpe configs"
+     [--config NAME] [--max N] [--detail] [--metrics-json FILE]\n  cpe profile \
+     --workload NAME [--config NAME] [--scale test|small|full] [--max N]\n              \
+     [--interval N] [--ring N] [--trace-out FILE] [--trace-format chrome|jsonl]\n              \
+     [--metrics-json FILE]\n  cpe compare <file.s> [--max N] [--metrics-json FILE]\n  \
+     cpe record <file.s> -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  \
+     cpe fuzz-trace [--cases N] [--seed S] [--config NAME]\n  cpe workloads\n  cpe configs"
 }
 
 fn dispatch(args: &[String]) -> Result<(), String> {
@@ -258,15 +399,43 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             cmd_trace(&args[1], count)
         }
         Some("run") if args.len() >= 2 => {
-            reject_unknown_flags(&args[1..], &["--config", "--max"], &["--detail"])?;
+            reject_unknown_flags(
+                &args[1..],
+                &["--config", "--max", "--metrics-json"],
+                &["--detail"],
+            )?;
             let max = parse_number(args, "--max")?;
             let detail = args.iter().any(|arg| arg == "--detail");
-            cmd_run(&args[1], parse_flag(args, "--config"), max, detail)
+            cmd_run(
+                &args[1],
+                parse_flag(args, "--config"),
+                max,
+                detail,
+                parse_flag(args, "--metrics-json"),
+            )
+        }
+        Some("profile") => {
+            reject_unknown_flags(
+                &args[1..],
+                &[
+                    "--workload",
+                    "--config",
+                    "--scale",
+                    "--max",
+                    "--interval",
+                    "--ring",
+                    "--trace-out",
+                    "--trace-format",
+                    "--metrics-json",
+                ],
+                &[],
+            )?;
+            cmd_profile(args)
         }
         Some("compare") if args.len() >= 2 => {
-            reject_unknown_flags(&args[1..], &["--max"], &[])?;
+            reject_unknown_flags(&args[1..], &["--max", "--metrics-json"], &[])?;
             let max = parse_number(args, "--max")?;
-            cmd_compare(&args[1], max)
+            cmd_compare(&args[1], max, parse_flag(args, "--metrics-json"))
         }
         Some("record") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &["-o"], &[])?;

@@ -14,8 +14,9 @@
 //! | [`mem`] | `cpe-mem` | the cache hierarchy with ports, line buffers, store buffer, MSHRs |
 //! | [`cpu`] | `cpe-cpu` | the dynamic superscalar out-of-order core |
 //! | [`workloads`] | `cpe-workloads` | the six applications + OS-activity injection |
-//! | [`stats`] | `cpe-stats` | counters, histograms, tables |
-//! | top level | `cpe-core` | [`SimConfig`], [`Simulator`], [`Experiment`], [`RunSummary`] |
+//! | [`stats`] | `cpe-stats` | counters, histograms, tables, time series |
+//! | [`trace`] | `cpe-trace` | event tracing: ring buffer, Chrome/JSONL sinks |
+//! | top level | `cpe-core` | [`SimConfig`], [`Simulator`], [`Experiment`], [`RunSummary`], [`ProfiledRun`] |
 //!
 //! # Quickstart
 //!
@@ -35,8 +36,9 @@
 //! ```
 
 pub use cpe_core::{
-    detailed_report, faultinject, ConfigError, Experiment, ResultRow, RunSummary, SimConfig,
-    SimError, Simulator,
+    config_json, detailed_report, faultinject, profile_json, summary_json, ConfigError,
+    EpochMetrics, Experiment, MetricsSeries, ProfileOptions, ProfiledRun, ResultRow, RunSummary,
+    SelfProfile, SimConfig, SimError, Simulator, METRICS_SCHEMA,
 };
 
 /// The miniature RISC ISA: instructions, assembler, functional emulator.
@@ -62,4 +64,10 @@ pub mod workloads {
 /// Statistics substrate: counters, histograms, summary, tables.
 pub mod stats {
     pub use cpe_stats::*;
+}
+
+/// Observability substrate: compact trace events, the capture ring, and
+/// the Chrome/JSONL/null sinks. See `docs/OBSERVABILITY.md`.
+pub mod trace {
+    pub use cpe_trace::*;
 }

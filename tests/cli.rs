@@ -232,6 +232,88 @@ fn fuzz_trace_reports_a_clean_campaign() {
 }
 
 #[test]
+fn run_metrics_json_is_self_describing() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let metrics = dir.join("run-metrics.json");
+    let output = cpe()
+        .args(["run"])
+        .arg(&program)
+        .args(["--config", "1-port combined", "--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("IPC"), "{stdout}");
+
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("\"schema\":1"), "{doc}");
+    // The document embeds the full machine configuration it was run on.
+    assert!(doc.contains("\"config\""), "{doc}");
+    assert!(doc.contains("\"name\":\"1-port combined\""), "{doc}");
+    assert!(doc.contains("\"summary\""), "{doc}");
+    assert!(doc.contains("\"epochs\""), "{doc}");
+    assert!(doc.contains("\"self_profile\""), "{doc}");
+    assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+    assert!(!doc.contains("NaN"), "{doc}");
+}
+
+#[test]
+fn profile_emits_epochs_trace_and_metrics() {
+    let dir = tempdir();
+    let trace = dir.join("profile-trace.json");
+    let metrics = dir.join("profile-metrics.json");
+    let output = cpe()
+        .args(["profile", "--workload", "compress", "--max", "3000"])
+        .args(["--interval", "250"])
+        .args(["--trace-out"])
+        .arg(&trace)
+        .args(["--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("epochs:"), "{stdout}");
+    assert!(stdout.contains("ipc"), "{stdout}");
+    assert!(stdout.contains("self-profile:"), "{stdout}");
+
+    // The Chrome trace document loads in about:tracing: an object with a
+    // traceEvents array of "M"/"X" records, braces balanced.
+    let chrome = std::fs::read_to_string(&trace).unwrap();
+    assert!(chrome.trim_start().starts_with('{'), "{chrome}");
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"M\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    assert_eq!(
+        chrome.matches('{').count(),
+        chrome.matches('}').count(),
+        "balanced braces"
+    );
+
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("\"epoch_interval\":250"), "{doc}");
+    assert!(doc.contains("\"epochs\""), "{doc}");
+}
+
+#[test]
+fn profile_requires_a_workload() {
+    let output = cpe().arg("profile").output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--workload"), "{stderr}");
+}
+
+#[test]
 fn trace_prints_executed_instructions() {
     let dir = tempdir();
     let program = write_program(&dir);
