@@ -44,7 +44,7 @@ fn bench_buffers(c: &mut Criterion) {
         let mut addr = 0u64;
         b.iter(|| {
             addr += 8;
-            if !sb.push(Addr::new(addr % 4096), 8) {
+            if !sb.push(0, Addr::new(addr % 4096), 8) {
                 sb.pop();
             }
         });
@@ -52,7 +52,7 @@ fn bench_buffers(c: &mut Criterion) {
     group.bench_function("store_buffer_forward_miss", |b| {
         let mut sb = StoreBuffer::new(16, true, 16);
         for slot in 0..16u64 {
-            sb.push(Addr::new(slot * 64), 8);
+            sb.push(0, Addr::new(slot * 64), 8);
         }
         b.iter(|| black_box(sb.forward(Addr::new(0x10_0000), 8)));
     });
@@ -63,8 +63,8 @@ fn bench_buffers(c: &mut Criterion) {
     });
     group.bench_function("mshr_request_merge", |b| {
         let mut mshr = MshrFile::new(8);
-        mshr.request(0x40, 100, false);
-        b.iter(|| black_box(mshr.request(0x40, 100, false)));
+        mshr.request(0, 0x40, 100, false);
+        b.iter(|| black_box(mshr.request(0, 0x40, 100, false)));
     });
     group.finish();
 }

@@ -1,0 +1,230 @@
+//! Host-performance benchmarking of the simulator itself.
+//!
+//! [`BenchReport::run`] drives every standard workload through one
+//! configuration, timing the host-side cost of each: wall seconds,
+//! simulated cycles per host second, and (on Linux) the process's peak
+//! resident set. The JSON form is written as `BENCH_<name>.json` by
+//! `cpe bench` and compared across commits with `cpe diff` — the
+//! simulated counters (cycles, instructions, IPC) are deterministic, so
+//! any drift there is a correctness regression, while wall-time drift
+//! beyond the chosen tolerance is a performance regression.
+
+use std::fmt;
+use std::time::Instant;
+
+use cpe_stats::Table;
+use cpe_workloads::{Scale, Workload};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::json::METRICS_SCHEMA;
+use crate::simulator::Simulator;
+
+/// One workload's measurements.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Workload name.
+    pub workload: String,
+    /// Simulated cycles (deterministic for a given config and workload).
+    pub cycles: u64,
+    /// Committed instructions (deterministic).
+    pub insts: u64,
+    /// Committed IPC (deterministic).
+    pub ipc: f64,
+    /// Host wall-clock seconds for the run.
+    pub wall_seconds: f64,
+    /// Simulated cycles per host second.
+    pub cycles_per_sec: f64,
+}
+
+/// The full benchmark report for one configuration.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Report label (defaults to the config name at the CLI).
+    pub name: String,
+    /// Configuration name the suite ran on.
+    pub config: String,
+    /// Measured-instruction cap per workload.
+    pub max_insts: u64,
+    /// One entry per workload, in [`Workload::ALL`] order.
+    pub entries: Vec<BenchEntry>,
+    /// Wall seconds across the whole suite.
+    pub total_wall_seconds: f64,
+    /// Simulated cycles across the whole suite.
+    pub total_cycles: u64,
+    /// Aggregate simulated cycles per host second.
+    pub cycles_per_sec: f64,
+    /// Peak resident set in bytes (`None` where /proc is unavailable).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// The process's peak resident set (VmHWM) in bytes, from
+/// `/proc/self/status`. `None` on platforms without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|line| line.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+impl BenchReport {
+    /// Run the standard suite ([`Workload::ALL`] at test scale, up to
+    /// `max_insts` measured instructions each) under `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] when any workload's pipeline stops making
+    /// progress.
+    pub fn run(name: &str, config: &SimConfig, max_insts: u64) -> Result<BenchReport, SimError> {
+        let sim = Simulator::new(config.clone());
+        let mut entries = Vec::new();
+        let mut total_wall = 0.0;
+        let mut total_cycles = 0u64;
+        for workload in Workload::ALL {
+            let started = Instant::now();
+            let summary = sim.try_run(workload, Scale::Test, Some(max_insts))?;
+            let wall = started.elapsed().as_secs_f64();
+            total_wall += wall;
+            total_cycles += summary.cycles;
+            entries.push(BenchEntry {
+                workload: workload.name().to_string(),
+                cycles: summary.cycles,
+                insts: summary.insts,
+                ipc: summary.ipc,
+                wall_seconds: wall,
+                cycles_per_sec: if wall > 0.0 {
+                    summary.cycles as f64 / wall
+                } else {
+                    0.0
+                },
+            });
+        }
+        Ok(BenchReport {
+            name: name.to_string(),
+            config: config.name.clone(),
+            max_insts,
+            entries,
+            total_wall_seconds: total_wall,
+            total_cycles,
+            cycles_per_sec: if total_wall > 0.0 {
+                total_cycles as f64 / total_wall
+            } else {
+                0.0
+            },
+            peak_rss_bytes: peak_rss_bytes(),
+        })
+    }
+
+    /// The report as a self-describing JSON document (the `BENCH_*.json`
+    /// artifact).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "\"{}\":{{\"cycles\":{},\"insts\":{},\"ipc\":{},\"wall_seconds\":{},\
+                     \"cycles_per_sec\":{}}}",
+                    crate::json::escape(&e.workload),
+                    e.cycles,
+                    e.insts,
+                    crate::json::num(e.ipc),
+                    crate::json::num(e.wall_seconds),
+                    crate::json::num(e.cycles_per_sec)
+                )
+            })
+            .collect();
+        let rss = match self.peak_rss_bytes {
+            Some(bytes) => bytes.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"schema\":{},\"kind\":\"bench\",\"name\":\"{}\",\"config\":\"{}\",\
+             \"max_insts\":{},\"total\":{{\"wall_seconds\":{},\"cycles\":{},\
+             \"cycles_per_sec\":{},\"peak_rss_bytes\":{}}},\"workloads\":{{{}}}}}",
+            METRICS_SCHEMA,
+            crate::json::escape(&self.name),
+            crate::json::escape(&self.config),
+            self.max_insts,
+            crate::json::num(self.total_wall_seconds),
+            self.total_cycles,
+            crate::json::num(self.cycles_per_sec),
+            rss,
+            entries.join(",")
+        )
+    }
+}
+
+impl fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut table = Table::new(["workload", "cycles", "insts", "IPC", "wall s", "Mcyc/s"]);
+        for e in &self.entries {
+            table.row([
+                e.workload.clone(),
+                e.cycles.to_string(),
+                e.insts.to_string(),
+                format!("{:.3}", e.ipc),
+                format!("{:.3}", e.wall_seconds),
+                format!("{:.2}", e.cycles_per_sec / 1.0e6),
+            ]);
+        }
+        writeln!(f, "bench `{}` on `{}`:", self.name, self.config)?;
+        write!(f, "{table}")?;
+        let rss = match self.peak_rss_bytes {
+            Some(bytes) => format!(", peak RSS {:.1} MiB", bytes as f64 / (1024.0 * 1024.0)),
+            None => String::new(),
+        };
+        write!(
+            f,
+            "total: {:.3}s wall, {} cycles, {:.2} Mcyc/s{rss}",
+            self.total_wall_seconds,
+            self.total_cycles,
+            self.cycles_per_sec / 1.0e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff_json, parse_json};
+
+    #[test]
+    fn bench_covers_the_suite_and_exports_sound_json() {
+        let report =
+            BenchReport::run("smoke", &SimConfig::combined_single_port(), 1_000).expect("runs");
+        assert_eq!(report.entries.len(), Workload::ALL.len());
+        assert!(report.total_cycles > 0);
+        assert!(report.total_wall_seconds >= 0.0);
+        for entry in &report.entries {
+            assert!(entry.cycles > 0, "{}", entry.workload);
+            assert!(entry.insts > 0, "{}", entry.workload);
+        }
+
+        let json = report.to_json();
+        parse_json(&json).expect("bench json parses");
+        assert!(json.contains("\"kind\":\"bench\""), "{json}");
+        assert!(json.contains("\"compress\":{"), "{json}");
+        assert!(json.contains("\"wall_seconds\":"), "{json}");
+        assert!(json.contains("\"cycles_per_sec\":"), "{json}");
+        // Self-diff at zero tolerance: the gate's base case.
+        assert!(diff_json(&json, &json, 0.0).unwrap().is_clean());
+    }
+
+    #[test]
+    fn simulated_counters_are_deterministic_across_bench_runs() {
+        let a = BenchReport::run("a", &SimConfig::dual_port(), 500).expect("runs");
+        let b = BenchReport::run("a", &SimConfig::dual_port(), 500).expect("runs");
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.cycles, y.cycles, "{}", x.workload);
+            assert_eq!(x.insts, y.insts, "{}", x.workload);
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_reads_procfs() {
+        let rss = peak_rss_bytes().expect("procfs present on Linux");
+        assert!(rss > 1024 * 1024, "a test process uses more than 1 MiB");
+    }
+}

@@ -16,6 +16,7 @@ use cpe_mem::{
     CacheGeometry, Latencies, LineBufferConfig, MemConfig, PortConfig, ReplacementPolicy,
     StoreBufferConfig, TlbConfig, WritePolicy,
 };
+use cpe_stats::{Histogram, Log2Histogram};
 
 use crate::config::SimConfig;
 use crate::metrics::RunSummary;
@@ -23,10 +24,15 @@ use crate::observe::{EpochMetrics, ProfiledRun, SelfProfile};
 
 /// Version tag stamped into every exported document, bumped whenever the
 /// shape changes incompatibly.
-pub const METRICS_SCHEMA: u32 = 1;
+///
+/// Schema 2 added the `distributions` object (per-path load-latency,
+/// store-commit-latency and residency histograms plus occupancy
+/// distributions), the summary's latency percentiles, and the per-epoch
+/// `load_latency_p50`/`load_latency_p95` fields.
+pub const METRICS_SCHEMA: u32 = 2;
 
 /// Escape a string for a JSON literal.
-fn escape(text: &str) -> String {
+pub(crate) fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     for c in text.chars() {
         match c {
@@ -43,7 +49,7 @@ fn escape(text: &str) -> String {
 }
 
 /// A finite float, or `null` (JSON has no NaN/Infinity).
-fn num(value: f64) -> String {
+pub(crate) fn num(value: f64) -> String {
     if value.is_finite() {
         // Shortest round-trip representation; always a valid JSON number
         // for finite input.
@@ -57,6 +63,79 @@ fn num(value: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// An optional integer (percentile of an empty distribution), or `null`.
+fn opt(value: Option<u64>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// A [`Log2Histogram`] as `{count, mean, max, p50, p90, p95, p99,
+/// buckets}`, where `buckets` lists only the non-empty `[lo, hi, count]`
+/// ranges.
+fn log2hist_json(hist: &Log2Histogram) -> String {
+    let buckets: Vec<String> = hist
+        .iter_buckets()
+        .map(|(lo, hi, count)| format!("[{lo},{hi},{count}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\
+         \"buckets\":[{}]}}",
+        hist.total(),
+        num(hist.mean()),
+        hist.max_seen(),
+        opt(hist.p50()),
+        opt(hist.p90()),
+        opt(hist.p95()),
+        opt(hist.p99()),
+        buckets.join(",")
+    )
+}
+
+/// A dense [`Histogram`] as `{count, mean, max, overflow, counts}`, where
+/// `counts` lists only the non-empty `[value, count]` pairs.
+fn dense_hist_json(hist: &Histogram) -> String {
+    let counts: Vec<String> = hist
+        .iter()
+        .filter(|&(_, count)| count > 0)
+        .map(|(value, count)| format!("[{value},{count}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"mean\":{},\"max\":{},\"overflow\":{},\"counts\":[{}]}}",
+        hist.total(),
+        num(hist.mean()),
+        hist.max_seen(),
+        hist.overflow(),
+        counts.join(",")
+    )
+}
+
+/// The run's latency and occupancy distributions as one object.
+fn distributions_json(summary: &RunSummary) -> String {
+    let mem = &summary.raw.mem;
+    let cpu = &summary.raw.cpu;
+    let paths: Vec<String> = mem
+        .load_latency_paths()
+        .iter()
+        .map(|(name, hist)| format!("\"{name}\":{}", log2hist_json(hist)))
+        .collect();
+    format!(
+        "{{\"load_latency\":{},\"load_latency_paths\":{{{}}},\"store_commit_latency\":{},\
+         \"mshr_residency\":{},\"occupancy\":{{\"rob\":{},\"lsq\":{},\"mshr\":{},\
+         \"store_buffer\":{},\"port_queue\":{}}}}}",
+        log2hist_json(&mem.load_latency),
+        paths.join(","),
+        log2hist_json(&mem.store_commit_latency),
+        log2hist_json(&mem.mshr_residency),
+        dense_hist_json(&cpu.rob_occupancy),
+        dense_hist_json(&cpu.lsq_occupancy),
+        dense_hist_json(&mem.mshr_occupancy),
+        dense_hist_json(&mem.store_buffer_occupancy),
+        dense_hist_json(&mem.port_queue_depth)
+    )
 }
 
 fn cache_json(cache: &CacheGeometry) -> String {
@@ -222,7 +301,8 @@ pub fn summary_json(summary: &RunSummary) -> String {
          \"stores_per_kinst\":{},\"dcache_mpki\":{},\"icache_mpki\":{},\"port_utilisation\":{},\
          \"portless_load_fraction\":{},\"store_combined_fraction\":{},\"mispredict_rate\":{},\
          \"store_stall_per_kcycle\":{},\"bank_conflicts_per_kinst\":{},\"prefetch_accuracy\":{},\
-         \"victim_hits_per_kinst\":{}}}",
+         \"victim_hits_per_kinst\":{},\"load_latency_p50\":{},\"load_latency_p95\":{},\
+         \"load_latency_p99\":{}}}",
         escape(&summary.config),
         escape(&summary.workload),
         summary.cycles,
@@ -242,7 +322,10 @@ pub fn summary_json(summary: &RunSummary) -> String {
         num(summary.store_stall_per_kcycle),
         num(summary.bank_conflicts_per_kinst),
         num(summary.prefetch_accuracy),
-        num(summary.victim_hits_per_kinst)
+        num(summary.victim_hits_per_kinst),
+        opt(summary.load_latency_p50),
+        opt(summary.load_latency_p95),
+        opt(summary.load_latency_p99)
     )
 }
 
@@ -250,7 +333,8 @@ fn epoch_json(epoch: &EpochMetrics) -> String {
     format!(
         "{{\"start_cycle\":{},\"end_cycle\":{},\"insts\":{},\"loads\":{},\"stores\":{},\
          \"dcache_misses\":{},\"ipc\":{},\"port_utilisation\":{},\"portless_load_fraction\":{},\
-         \"dcache_mpki\":{},\"store_combine_rate\":{}}}",
+         \"dcache_mpki\":{},\"store_combine_rate\":{},\"load_latency_p50\":{},\
+         \"load_latency_p95\":{}}}",
         epoch.start_cycle,
         epoch.end_cycle,
         epoch.insts,
@@ -261,7 +345,9 @@ fn epoch_json(epoch: &EpochMetrics) -> String {
         num(epoch.port_utilisation),
         num(epoch.portless_load_fraction),
         num(epoch.dcache_mpki),
-        num(epoch.store_combine_rate)
+        num(epoch.store_combine_rate),
+        opt(epoch.load_latency_p50),
+        opt(epoch.load_latency_p95)
     )
 }
 
@@ -289,11 +375,12 @@ fn self_profile_json(profile: &SelfProfile) -> String {
 pub fn profile_json(run: &ProfiledRun, config: &SimConfig) -> String {
     let epochs: Vec<String> = run.series.epochs.iter().map(epoch_json).collect();
     format!(
-        "{{\"schema\":{},\"config\":{},\"summary\":{},\"epoch_interval\":{},\"epochs\":[{}],\
-         \"self_profile\":{}}}",
+        "{{\"schema\":{},\"config\":{},\"summary\":{},\"distributions\":{},\
+         \"epoch_interval\":{},\"epochs\":[{}],\"self_profile\":{}}}",
         METRICS_SCHEMA,
         config_json(config),
         summary_json(&run.summary),
+        distributions_json(&run.summary),
         run.series.interval,
         epochs.join(","),
         self_profile_json(&run.self_profile)
@@ -413,11 +500,92 @@ mod tests {
             .expect("run completes");
         let text = profile_json(&run, sim.config());
         assert_balanced(&text);
-        assert!(text.starts_with("{\"schema\":1,"));
+        assert!(text.starts_with("{\"schema\":2,"));
         // Self-describing: the config rides inside the document.
         assert!(text.contains("\"config\":{\"name\":\"1-port combined\""));
         assert!(text.contains("\"epochs\":["));
         assert!(text.contains("\"self_profile\":{"));
         assert!(text.contains(&format!("\"cycles\":{}", run.summary.cycles)));
+    }
+
+    #[test]
+    fn profile_document_carries_per_path_latency_distributions() {
+        let sim = Simulator::new(SimConfig::combined_single_port());
+        let run = sim
+            .try_profile(
+                Workload::Compress,
+                Scale::Test,
+                Some(5_000),
+                ProfileOptions::default(),
+            )
+            .expect("run completes");
+        let text = profile_json(&run, sim.config());
+        assert_balanced(&text);
+        assert!(
+            text.contains("\"distributions\":{\"load_latency\":{"),
+            "{text}"
+        );
+        for path in [
+            "\"l1_port_hit\":{",
+            "\"line_buffer\":{",
+            "\"store_forward\":{",
+            "\"combined\":{",
+            "\"mshr_merge\":{",
+            "\"miss\":{",
+        ] {
+            assert!(text.contains(path), "missing path {path}");
+        }
+        for key in [
+            "\"p50\":",
+            "\"p95\":",
+            "\"p99\":",
+            "\"buckets\":[",
+            "\"store_commit_latency\":{",
+            "\"mshr_residency\":{",
+            "\"occupancy\":{\"rob\":{",
+            "\"lsq\":{",
+            "\"store_buffer\":{",
+            "\"port_queue\":{",
+            "\"load_latency_p50\":",
+            "\"load_latency_p95\":",
+        ] {
+            assert!(text.contains(key), "missing {key}");
+        }
+        // The run issued loads, so the aggregate distribution must carry
+        // concrete percentiles, not nulls.
+        let dist_start = text.find("\"distributions\":").unwrap();
+        let dist = &text[dist_start..];
+        assert!(run.summary.raw.mem.loads.get() > 0);
+        assert!(!dist[..200].contains("\"p50\":null"), "{}", &dist[..200]);
+    }
+
+    #[test]
+    fn histogram_serializers_handle_empty_and_loaded_forms() {
+        let empty = Log2Histogram::new();
+        let text = log2hist_json(&empty);
+        assert_balanced(&text);
+        assert!(text.contains("\"count\":0"));
+        assert!(text.contains("\"p50\":null"));
+        assert!(text.contains("\"buckets\":[]"));
+        assert!(!text.contains("NaN"), "{text}");
+
+        let mut hist = Log2Histogram::new();
+        for v in [1, 2, 3, 100] {
+            hist.record(v);
+        }
+        let text = log2hist_json(&hist);
+        assert_balanced(&text);
+        assert!(text.contains("\"count\":4"));
+        assert!(text.contains("\"p50\":2"));
+        assert!(text.contains("\"max\":100"));
+
+        let mut dense = Histogram::new(4);
+        dense.record(1);
+        dense.record(1);
+        dense.record(9); // overflows
+        let text = dense_hist_json(&dense);
+        assert_balanced(&text);
+        assert!(text.contains("\"counts\":[[1,2]]"), "{text}");
+        assert!(text.contains("\"overflow\":1"), "{text}");
     }
 }

@@ -18,7 +18,16 @@
 //! * [`Simulator::try_profile`] — an instrumented run producing interval
 //!   ("epoch") metrics, a self-profile, and — with the `trace` feature —
 //!   the retained `cpe-trace` event window; [`profile_json`] renders the
-//!   whole thing as a self-describing `--metrics-json` document.
+//!   whole thing as a self-describing `--metrics-json` document —
+//!   including the run's latency and occupancy *distributions* (per-path
+//!   load-latency histograms with p50/p95/p99, store-commit wait, MSHR
+//!   residency, and per-cycle structure occupancy);
+//! * [`BenchReport`] — host-side benchmarking of the simulator itself
+//!   (wall time, simulated cycles/sec, peak RSS) over the standard
+//!   workloads, exported as `BENCH_*.json`;
+//! * [`diff_json`] — a dependency-free, field-by-field comparison of two
+//!   exported JSON documents with a relative tolerance: the regression
+//!   gate behind `cpe diff`.
 //!
 //! # Quickstart
 //!
@@ -33,7 +42,9 @@
 //! assert!(dual.ipc >= naive.ipc);
 //! ```
 
+mod bench;
 mod config;
+mod diff;
 mod error;
 mod experiment;
 pub mod faultinject;
@@ -43,7 +54,9 @@ mod observe;
 mod report;
 mod simulator;
 
+pub use bench::{peak_rss_bytes, BenchEntry, BenchReport};
 pub use config::SimConfig;
+pub use diff::{diff_json, parse_json, DiffEntry, DiffReport, JsonValue};
 pub use error::{ConfigError, SimError};
 pub use experiment::{Experiment, ResultRow};
 pub use json::{config_json, profile_json, summary_json, METRICS_SCHEMA};

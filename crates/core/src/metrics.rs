@@ -51,6 +51,13 @@ pub struct RunSummary {
     pub prefetch_accuracy: f64,
     /// Victim-cache hits per 1000 instructions.
     pub victim_hits_per_kinst: f64,
+    /// Median completed-load latency in cycles (`None` when no load
+    /// completed).
+    pub load_latency_p50: Option<u64>,
+    /// 95th-percentile completed-load latency in cycles.
+    pub load_latency_p95: Option<u64>,
+    /// 99th-percentile completed-load latency in cycles.
+    pub load_latency_p99: Option<u64>,
     /// The raw simulation result.
     pub raw: SimResult,
 }
@@ -92,6 +99,9 @@ impl RunSummary {
             prefetch_accuracy: mem.prefetch_useful.get() as f64
                 / mem.prefetches.get().max(1) as f64,
             victim_hits_per_kinst: mem.victim_hits.get() as f64 * 1000.0 / insts as f64,
+            load_latency_p50: mem.load_latency.p50(),
+            load_latency_p95: mem.load_latency.p95(),
+            load_latency_p99: mem.load_latency.p99(),
             raw,
         }
     }
@@ -173,6 +183,20 @@ mod tests {
         assert_eq!(s.portless_load_fraction, 0.25);
         assert_eq!(s.store_combined_fraction, 0.2);
         assert_eq!(s.mispredict_rate, 0.05);
+        assert_eq!(s.load_latency_p50, None, "no latency samples recorded");
+    }
+
+    #[test]
+    fn latency_percentiles_flow_from_the_distribution() {
+        let mut result = fake_result();
+        for latency in [1, 2, 3, 100] {
+            result
+                .mem
+                .record_load_latency(cpe_mem::LoadSource::L1Hit, latency);
+        }
+        let s = RunSummary::new("cfg", "wl", result);
+        assert_eq!(s.load_latency_p50, Some(2));
+        assert_eq!(s.load_latency_p99, Some(100));
     }
 
     #[test]

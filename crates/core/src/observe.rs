@@ -14,7 +14,7 @@ use std::time::Instant;
 use cpe_cpu::{Core, SimResult};
 use cpe_isa::DynInst;
 use cpe_mem::MemSystem;
-use cpe_stats::TimeSeries;
+use cpe_stats::{Log2Histogram, TimeSeries};
 use cpe_trace::{RingStats, TraceEvent, TraceHandle};
 use cpe_workloads::{Scale, Workload};
 
@@ -68,10 +68,15 @@ pub struct EpochMetrics {
     pub dcache_mpki: f64,
     /// Fraction of the epoch's stores that write-combined.
     pub store_combine_rate: f64,
+    /// Median latency of the loads completed in the epoch (`None` when no
+    /// load completed).
+    pub load_latency_p50: Option<u64>,
+    /// 95th-percentile latency of the loads completed in the epoch.
+    pub load_latency_p95: Option<u64>,
 }
 
 /// Cumulative counter values at an epoch boundary.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone)]
 struct Snapshot {
     cycles: u64,
     committed: u64,
@@ -82,6 +87,9 @@ struct Snapshot {
     slots_used: u64,
     slots_offered: u64,
     store_combined: u64,
+    /// The cumulative load-latency distribution; epoch percentiles come
+    /// from subtracting consecutive snapshots ([`Log2Histogram::delta`]).
+    load_latency: Log2Histogram,
 }
 
 impl Snapshot {
@@ -100,6 +108,7 @@ impl Snapshot {
             slots_used: mem.port_slots_used.get(),
             slots_offered: mem.port_slots_offered.get(),
             store_combined: mem.store_combined.get(),
+            load_latency: mem.load_latency.clone(),
         }
     }
 
@@ -109,6 +118,7 @@ impl Snapshot {
         let loads = self.loads - prev.loads;
         let stores = self.stores - prev.stores;
         let misses = self.dcache_misses - prev.dcache_misses;
+        let epoch_latency = self.load_latency.delta(&prev.load_latency);
         let ratio = |num: u64, den: u64| {
             if den == 0 {
                 0.0
@@ -135,6 +145,8 @@ impl Snapshot {
                 misses as f64 * 1000.0 / insts as f64
             },
             store_combine_rate: ratio(self.store_combined - prev.store_combined, stores),
+            load_latency_p50: epoch_latency.p50(),
+            load_latency_p95: epoch_latency.p95(),
         }
     }
 }
@@ -395,6 +407,25 @@ mod tests {
             .expect("clamped interval");
         // Interval 1 → one epoch per cycle.
         assert_eq!(run.series.epochs.len() as u64, run.summary.cycles);
+    }
+
+    #[test]
+    fn epoch_load_latency_percentiles_track_the_epochs() {
+        let run = profile(500);
+        let mut saw_loads = false;
+        for epoch in &run.series.epochs {
+            if epoch.loads > 0 {
+                saw_loads = true;
+                // Every initiated load records a latency sample, so an
+                // epoch with loads always has percentiles.
+                let p50 = epoch.load_latency_p50.expect("loads imply a median");
+                let p95 = epoch.load_latency_p95.expect("loads imply a p95");
+                assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+            } else {
+                assert_eq!(epoch.load_latency_p50, None);
+            }
+        }
+        assert!(saw_loads, "compress must issue loads");
     }
 
     #[test]

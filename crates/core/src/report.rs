@@ -159,6 +159,43 @@ pub fn detailed_report(summary: &RunSummary) -> String {
     ]);
     out.push_str(&t.to_markdown());
 
+    section(&mut out, "load latency by path");
+    let pct = |value: Option<u64>| value.map_or_else(|| "-".to_string(), |v| v.to_string());
+    let mut t = Table::new(["path", "n", "mean", "p50", "p95", "p99", "max"]);
+    let mut latency_rows = vec![("all loads", &mem.load_latency)];
+    latency_rows.extend(mem.load_latency_paths());
+    latency_rows.push(("store commit wait", &mem.store_commit_latency));
+    latency_rows.push(("MSHR residency", &mem.mshr_residency));
+    for (label, hist) in latency_rows {
+        t.row([
+            label.to_string(),
+            hist.total().to_string(),
+            format!("{:.1}", hist.mean()),
+            pct(hist.p50()),
+            pct(hist.p95()),
+            pct(hist.p99()),
+            hist.max_seen().to_string(),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+
+    section(&mut out, "occupancy");
+    let mut t = Table::new(["structure", "mean", "max"]);
+    for (label, hist) in [
+        ("ROB entries", &cpu.rob_occupancy),
+        ("LSQ entries", &cpu.lsq_occupancy),
+        ("MSHRs", &mem.mshr_occupancy),
+        ("store-buffer entries", &mem.store_buffer_occupancy),
+        ("port requests denied per cycle", &mem.port_queue_depth),
+    ] {
+        t.row([
+            label.to_string(),
+            format!("{:.2}", hist.mean()),
+            hist.max_seen().to_string(),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+
     section(&mut out, "port slots used per cycle");
     out.push_str(&mem.slots_per_cycle.to_ascii_chart(40));
     section(&mut out, "commits per cycle");
@@ -187,6 +224,8 @@ mod tests {
             "### store path",
             "### ports and hierarchy",
             "### pipeline friction",
+            "### load latency by path",
+            "### occupancy",
             "### port slots used per cycle",
             "### commits per cycle",
         ] {
@@ -194,6 +233,12 @@ mod tests {
         }
         assert!(report.contains("IPC"));
         assert!(report.contains('#'), "charts render bars");
+        // The latency table distinguishes serving paths and carries real
+        // percentiles for the run's loads.
+        assert!(report.contains("all loads"), "{report}");
+        assert!(report.contains("l1_port_hit"), "{report}");
+        assert!(report.contains("MSHR residency"), "{report}");
+        assert!(report.contains("LSQ entries"), "{report}");
     }
 
     #[test]

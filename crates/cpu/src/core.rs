@@ -9,7 +9,7 @@ use cpe_trace::{EventKind, TraceHandle};
 use crate::bpred::{Btb, DirectionPredictor, Ras};
 use crate::config::{CpuConfig, DirPredictorKind, Disambiguation};
 use crate::fu::FuPool;
-use crate::lsq::{range_covers, ranges_overlap, LoadGate};
+use crate::lsq::{range_covers, ranges_overlap, LoadGate, LsqTracker};
 use crate::rob::{EntryState, RobEntry};
 use crate::stats::CpuStats;
 use crate::watchdog::WatchdogReport;
@@ -84,8 +84,9 @@ pub struct Core<I: Iterator<Item = DynInst>> {
     wrong_path: Option<(u64, u32)>,
     /// A serialising instruction (syscall/eret) is in flight.
     serialize: bool,
-    loads_in_flight: usize,
-    stores_in_flight: usize,
+    /// Load/store-queue occupancy: claimed at dispatch, released at
+    /// commit, sampled into `stats.lsq_occupancy` each cycle.
+    lsq: LsqTracker,
     stats: CpuStats,
     last_mode: Mode,
     /// Deadlock detector: cycles since the last commit or dispatch.
@@ -103,12 +104,18 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     /// Panics when `config` fails [`CpuConfig::validate`].
     pub fn new(config: CpuConfig, mem: MemSystem, trace: I) -> Core<I> {
         config.validate();
+        let lsq = LsqTracker::new(config.load_queue, config.store_queue);
         Core {
             predictor: DirectionPredictor::new(config.predictor),
             btb: Btb::new(config.btb_entries),
             ras: Ras::new(config.ras_entries),
             fu: FuPool::new(config.fu),
-            stats: CpuStats::new(config.rob_entries, config.commit_width as usize),
+            stats: CpuStats::new(
+                config.rob_entries,
+                config.commit_width as usize,
+                lsq.capacity(),
+            ),
+            lsq,
             config,
             mem,
             trace: trace.peekable(),
@@ -122,8 +129,6 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             fetch_blocked_on_branch: false,
             wrong_path: None,
             serialize: false,
-            loads_in_flight: 0,
-            stores_in_flight: 0,
             last_mode: Mode::User,
             stuck_cycles: 0,
             tracer: TraceHandle::off(),
@@ -185,8 +190,11 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         while self.try_step()? {
             if warming && self.stats.committed.get() >= warmup_insts {
                 warming = false;
-                self.stats =
-                    CpuStats::new(self.config.rob_entries, self.config.commit_width as usize);
+                self.stats = CpuStats::new(
+                    self.config.rob_entries,
+                    self.config.commit_width as usize,
+                    self.lsq.capacity(),
+                );
                 self.mem.reset_stats();
             }
             if !warming && self.stats.committed.get() >= limit {
@@ -244,6 +252,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         // Bookkeeping.
         self.stats.cycles.inc();
         self.stats.rob_occupancy.record(self.rob.len() as u64);
+        self.stats.lsq_occupancy.record(self.lsq.total() as u64);
         let mode = self
             .rob
             .front()
@@ -296,8 +305,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 .front()
                 .map(|fetched| fetched.di.pc)
                 .or_else(|| self.trace.peek().map(|di| di.pc)),
-            loads_in_flight: self.loads_in_flight,
-            stores_in_flight: self.stores_in_flight,
+            loads_in_flight: self.lsq.loads(),
+            stores_in_flight: self.lsq.stores(),
             serialize: self.serialize,
             fetch_blocked_on_branch: self.fetch_blocked_on_branch,
             mem: self.mem.diagnostics(),
@@ -381,11 +390,11 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             let op = entry.di.inst.op;
             self.tracer.emit(now, EventKind::Commit, entry.di.pc, 0);
             if op.is_load() {
-                self.loads_in_flight -= 1;
+                self.lsq.retire_load();
                 self.stats.loads.inc();
             }
             if op.is_store() {
-                self.stores_in_flight -= 1;
+                self.lsq.retire_store();
                 self.stats.stores.inc();
             }
             if matches!(op, Op::Syscall | Op::Eret) {
@@ -528,11 +537,11 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 self.stats.dispatch_rob_full.inc();
                 break;
             }
-            if op.is_load() && self.loads_in_flight >= self.config.load_queue {
+            if op.is_load() && !self.lsq.can_accept_load() {
                 self.stats.dispatch_lsq_full.inc();
                 break;
             }
-            if op.is_store() && self.stores_in_flight >= self.config.store_queue {
+            if op.is_store() && !self.lsq.can_accept_store() {
                 self.stats.dispatch_lsq_full.inc();
                 break;
             }
@@ -563,10 +572,10 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 self.map[dest.index()] = Some(seq);
             }
             if op.is_load() {
-                self.loads_in_flight += 1;
+                self.lsq.add_load();
             }
             if op.is_store() {
-                self.stores_in_flight += 1;
+                self.lsq.add_store();
             }
             if serializing {
                 self.serialize = true;
@@ -1038,6 +1047,40 @@ mod tests {
         let result = run_src(SUM_LOOP, cfg, MemConfig::default());
         assert!(result.cpu.rob_occupancy.max_seen() <= 16);
         assert!(result.cpu.rob_occupancy.overflow() == 0);
+    }
+
+    #[test]
+    fn lsq_occupancy_never_exceeds_capacity() {
+        let src = r#"
+            .data
+            buf: .space 1024
+            .text
+            main:
+                la   t0, buf
+                li   t1, 64
+            fill:
+                sd   t1, 0(t0)
+                ld   t2, 0(t0)
+                addi t0, t0, 8
+                addi t1, t1, -1
+                bnez t1, fill
+                halt
+        "#;
+        let mut cfg = CpuConfig::default();
+        cfg.load_queue = 4;
+        cfg.store_queue = 4;
+        let result = run_src(src, cfg, MemConfig::default());
+        assert!(result.cpu.lsq_occupancy.max_seen() <= 8);
+        assert_eq!(result.cpu.lsq_occupancy.overflow(), 0);
+        assert_eq!(
+            result.cpu.lsq_occupancy.total(),
+            result.cycles,
+            "one occupancy sample per cycle"
+        );
+        assert!(
+            result.cpu.lsq_occupancy.max_seen() > 0,
+            "a memory-heavy loop must occupy the LSQ"
+        );
     }
 
     #[test]

@@ -57,14 +57,17 @@ pub struct CpuStats {
     pub max_commit_gap: Counter,
     /// Distribution of ROB occupancy per cycle.
     pub rob_occupancy: Histogram,
+    /// Distribution of combined load+store queue occupancy per cycle.
+    pub lsq_occupancy: Histogram,
     /// Instructions committed per cycle.
     pub commits_per_cycle: Histogram,
 }
 
 impl CpuStats {
-    /// Zeroed statistics for a machine with `rob_entries` window slots and
-    /// `commit_width` maximum commits per cycle.
-    pub fn new(rob_entries: usize, commit_width: usize) -> CpuStats {
+    /// Zeroed statistics for a machine with `rob_entries` window slots,
+    /// `commit_width` maximum commits per cycle, and `lsq_entries`
+    /// combined load+store queue slots.
+    pub fn new(rob_entries: usize, commit_width: usize, lsq_entries: usize) -> CpuStats {
         CpuStats {
             cycles: Counter::new(),
             user_cycles: Counter::new(),
@@ -88,6 +91,7 @@ impl CpuStats {
             wrong_path_blocks: Counter::new(),
             max_commit_gap: Counter::new(),
             rob_occupancy: Histogram::new(rob_entries),
+            lsq_occupancy: Histogram::new(lsq_entries),
             commits_per_cycle: Histogram::new(commit_width),
         }
     }
@@ -114,7 +118,7 @@ impl CpuStats {
 
 impl Default for CpuStats {
     fn default() -> CpuStats {
-        CpuStats::new(64, 4)
+        CpuStats::new(64, 4, 32)
     }
 }
 

@@ -90,6 +90,10 @@ pub struct DCache {
     cycle_chunks: Vec<(u64, Cycle)>,
     /// Banks already accessed this cycle (banked configurations only).
     cycle_banks: Vec<u32>,
+    /// Port requests denied this cycle (no free slot or bank conflict);
+    /// the CPU holds these in its queues and retries, so the count is the
+    /// depth of the implicit port request queue.
+    cycle_port_rejects: u32,
     /// Tagged next-line prefetching on demand misses.
     next_line_prefetch: bool,
     /// Prefetched lines not yet touched by a demand access.
@@ -123,6 +127,7 @@ impl DCache {
             slots_used: 0,
             cycle_chunks: Vec::with_capacity(config.ports.count as usize),
             cycle_banks: Vec::with_capacity(config.ports.count as usize),
+            cycle_port_rejects: 0,
             next_line_prefetch: config.next_line_prefetch,
             prefetched_pending: HashSet::new(),
             victims: VictimCache::new(config.victim_cache),
@@ -202,7 +207,7 @@ impl DCache {
             return;
         }
         let fill_at = backside.fetch_line(now, next, stats);
-        self.mshr.request(next.get(), fill_at, false);
+        self.mshr.request(now, next.get(), fill_at, false);
         self.prefetched_pending.insert(next.get());
         stats.prefetches.inc();
     }
@@ -223,8 +228,12 @@ impl DCache {
         self.slots_used = 0;
         self.cycle_chunks.clear();
         self.cycle_banks.clear();
+        self.cycle_port_rejects = 0;
         let line_bytes = self.line_bytes();
-        for (line_addr, dirty) in self.mshr.take_completed(now) {
+        for (line_addr, dirty, allocated_at) in self.mshr.take_completed(now) {
+            stats
+                .mshr_residency
+                .record(now.saturating_sub(allocated_at));
             self.trace.emit(now, EventKind::MshrRetire, line_addr, 0);
             if let Some(victim) = self.cache.fill(Addr::new(line_addr), dirty) {
                 // Anything buffered from the departing line is stale, and
@@ -297,6 +306,7 @@ impl DCache {
         // 4. A real port access.
         if self.slots_used >= self.ports.count {
             stats.load_no_port.inc();
+            self.cycle_port_rejects += 1;
             self.trace.emit(now, EventKind::PortConflict, addr.get(), 0);
             return LoadOutcome::NoPort;
         }
@@ -304,6 +314,7 @@ impl DCache {
             if self.cycle_banks.contains(&bank) {
                 stats.bank_conflicts.inc();
                 stats.load_no_port.inc();
+                self.cycle_port_rejects += 1;
                 self.trace
                     .emit(now, EventKind::BankConflict, addr.get(), bank);
                 return LoadOutcome::NoPort;
@@ -320,7 +331,7 @@ impl DCache {
                 if let Some(ready) = self.try_victim_swap(now, line, false, backside, stats) {
                     (ready, LoadSource::VictimHit)
                 } else if let Some(fill_at) = self.mshr.lookup(line.get()) {
-                    self.mshr.request(line.get(), fill_at, false);
+                    self.mshr.request(now, line.get(), fill_at, false);
                     self.credit_prefetch(line.get(), stats);
                     self.trace.emit(now, EventKind::MshrMerge, line.get(), 0);
                     (
@@ -334,7 +345,7 @@ impl DCache {
                     return LoadOutcome::MshrFull;
                 } else {
                     let fill_at = backside.fetch_line(now, line, stats);
-                    let result = self.mshr.request(line.get(), fill_at, false);
+                    let result = self.mshr.request(now, line.get(), fill_at, false);
                     debug_assert_eq!(result, MshrResult::Allocated(fill_at));
                     self.maybe_prefetch(now, line, backside, stats);
                     self.trace.emit(now, EventKind::MshrAlloc, line.get(), 0);
@@ -390,7 +401,7 @@ impl DCache {
     ) -> StoreOutcome {
         if self.store_buffer.capacity() > 0 {
             let combined_before = self.store_buffer.combined();
-            if self.store_buffer.push(addr, bytes) {
+            if self.store_buffer.push(now, addr, bytes) {
                 stats.stores.inc();
                 if self.store_buffer.combined() > combined_before {
                     stats.store_combined.inc();
@@ -410,6 +421,7 @@ impl DCache {
             // Unbuffered: the store needs a port slot right now.
             if self.slots_used >= self.ports.count {
                 stats.store_rejected.inc();
+                self.cycle_port_rejects += 1;
                 self.trace.emit(now, EventKind::StoreReject, addr.get(), 0);
                 return StoreOutcome::Rejected;
             }
@@ -417,6 +429,7 @@ impl DCache {
                 if self.cycle_banks.contains(&bank) {
                     stats.bank_conflicts.inc();
                     stats.store_rejected.inc();
+                    self.cycle_port_rejects += 1;
                     self.trace
                         .emit(now, EventKind::BankConflict, addr.get(), bank);
                     return StoreOutcome::Rejected;
@@ -427,6 +440,8 @@ impl DCache {
                 Ok(()) => {
                     self.slots_used += 1;
                     stats.stores.inc();
+                    // A direct write never waited in the buffer.
+                    stats.store_commit_latency.record(0);
                     self.line_buffers.invalidate_overlapping(addr, bytes);
                     self.trace.emit(now, EventKind::StoreCommit, addr.get(), 0);
                     StoreOutcome::Accepted
@@ -461,6 +476,9 @@ impl DCache {
                     self.slots_used += 1;
                     self.store_buffer.pop();
                     stats.store_drains.inc();
+                    stats
+                        .store_commit_latency
+                        .record(now.saturating_sub(entry.pushed_at));
                     self.trace
                         .emit(now, EventKind::StoreDrain, entry.chunk_addr, 0);
                 }
@@ -470,6 +488,13 @@ impl DCache {
         stats.port_slots_used.add(u64::from(self.slots_used));
         stats.port_slots_offered.add(u64::from(self.ports.count));
         stats.slots_per_cycle.record(u64::from(self.slots_used));
+        stats.mshr_occupancy.record(self.mshr.len() as u64);
+        stats
+            .store_buffer_occupancy
+            .record(self.store_buffer.len() as u64);
+        stats
+            .port_queue_depth
+            .record(u64::from(self.cycle_port_rejects));
     }
 
     /// Write `addr`'s line in the cache (hit) or route it through the MSHR
@@ -508,7 +533,7 @@ impl DCache {
                     return Ok(());
                 }
                 if let Some(fill_at) = self.mshr.lookup(line.get()) {
-                    self.mshr.request(line.get(), fill_at, true);
+                    self.mshr.request(now, line.get(), fill_at, true);
                     self.credit_prefetch(line.get(), stats);
                     stats.store_misses.inc();
                     return Ok(());
@@ -517,7 +542,7 @@ impl DCache {
                     return Err(());
                 }
                 let fill_at = backside.fetch_line(now, line, stats);
-                self.mshr.request(line.get(), fill_at, true);
+                self.mshr.request(now, line.get(), fill_at, true);
                 self.maybe_prefetch(now, line, backside, stats);
                 stats.store_misses.inc();
                 Ok(())
@@ -570,7 +595,11 @@ mod tests {
         Rig {
             d: DCache::new(&config),
             b: Backside::new(config.l2, config.latencies),
-            s: MemStats::new(config.ports.count as usize),
+            s: MemStats::new(
+                config.ports.count as usize,
+                config.mshrs,
+                config.store_buffer.entries,
+            ),
         }
     }
 

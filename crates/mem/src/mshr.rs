@@ -17,6 +17,9 @@ pub enum MshrResult {
 #[derive(Debug, Clone, Copy)]
 struct MshrEntry {
     line_addr: u64,
+    /// Cycle the entry was allocated — retirement reports it so the
+    /// caller can account the miss's full residency.
+    allocated_at: Cycle,
     ready_at: Cycle,
     /// Fill installs dirty (a store missed and its data is parked here).
     dirty: bool,
@@ -32,12 +35,12 @@ struct MshrEntry {
 /// use cpe_mem::{MshrFile, MshrResult};
 ///
 /// let mut mshrs = MshrFile::new(2);
-/// assert_eq!(mshrs.request(0x100, 20, false), MshrResult::Allocated(20));
-/// assert_eq!(mshrs.request(0x100, 25, true), MshrResult::Merged(20));
-/// assert_eq!(mshrs.request(0x200, 22, false), MshrResult::Allocated(22));
-/// assert_eq!(mshrs.request(0x300, 23, false), MshrResult::Full);
+/// assert_eq!(mshrs.request(0, 0x100, 20, false), MshrResult::Allocated(20));
+/// assert_eq!(mshrs.request(5, 0x100, 25, true), MshrResult::Merged(20));
+/// assert_eq!(mshrs.request(2, 0x200, 22, false), MshrResult::Allocated(22));
+/// assert_eq!(mshrs.request(3, 0x300, 23, false), MshrResult::Full);
 /// let done = mshrs.take_completed(20);
-/// assert_eq!(done, vec![(0x100, true)]); // dirty: the merged store's data
+/// assert_eq!(done, vec![(0x100, true, 0)]); // dirty: the merged store's data
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
@@ -56,13 +59,20 @@ impl MshrFile {
         }
     }
 
-    /// Track a miss to `line_addr` whose fill would arrive at `fill_at`.
+    /// Track a miss to `line_addr`, requested at cycle `now`, whose fill
+    /// would arrive at `fill_at`.
     ///
     /// When the line is already outstanding the reference merges (the
-    /// earlier fill time stands, and `write` marks the eventual fill
-    /// dirty). `fill_at` is ignored on a merge — callers get the
-    /// authoritative completion cycle in the result.
-    pub fn request(&mut self, line_addr: u64, fill_at: Cycle, write: bool) -> MshrResult {
+    /// earlier fill time and allocation cycle stand, and `write` marks
+    /// the eventual fill dirty). `fill_at` is ignored on a merge —
+    /// callers get the authoritative completion cycle in the result.
+    pub fn request(
+        &mut self,
+        now: Cycle,
+        line_addr: u64,
+        fill_at: Cycle,
+        write: bool,
+    ) -> MshrResult {
         if let Some(entry) = self.entries.iter_mut().find(|e| e.line_addr == line_addr) {
             entry.dirty |= write;
             self.merges += 1;
@@ -73,6 +83,7 @@ impl MshrFile {
         }
         self.entries.push(MshrEntry {
             line_addr,
+            allocated_at: now,
             ready_at: fill_at,
             dirty: write,
         });
@@ -88,19 +99,20 @@ impl MshrFile {
     }
 
     /// Retire every entry whose fill has arrived by `now`, returning
-    /// `(line_addr, dirty)` pairs for the caller to install.
-    pub fn take_completed(&mut self, now: Cycle) -> Vec<(u64, bool)> {
+    /// `(line_addr, dirty, allocated_at)` triples for the caller to
+    /// install (and account residency from the allocation cycle).
+    pub fn take_completed(&mut self, now: Cycle) -> Vec<(u64, bool, Cycle)> {
         let mut done = Vec::new();
         self.entries.retain(|e| {
             if e.ready_at <= now {
-                done.push((e.line_addr, e.dirty));
+                done.push((e.line_addr, e.dirty, e.allocated_at));
                 false
             } else {
                 true
             }
         });
         // Install in arrival order for deterministic victim selection.
-        done.sort_by_key(|&(line, _)| line);
+        done.sort_by_key(|&(line, _, _)| line);
         done
     }
 
@@ -133,12 +145,12 @@ mod tests {
     fn allocate_merge_retire_cycle() {
         let mut m = MshrFile::new(4);
         assert!(m.is_empty());
-        assert_eq!(m.request(0x40, 10, false), MshrResult::Allocated(10));
+        assert_eq!(m.request(3, 0x40, 10, false), MshrResult::Allocated(10));
         assert_eq!(m.lookup(0x40), Some(10));
-        assert_eq!(m.request(0x40, 99, false), MshrResult::Merged(10));
+        assert_eq!(m.request(4, 0x40, 99, false), MshrResult::Merged(10));
         assert_eq!(m.merges(), 1);
         assert!(m.take_completed(9).is_empty());
-        assert_eq!(m.take_completed(10), vec![(0x40, false)]);
+        assert_eq!(m.take_completed(10), vec![(0x40, false, 3)]);
         assert!(m.is_empty());
         assert_eq!(m.lookup(0x40), None);
     }
@@ -146,28 +158,28 @@ mod tests {
     #[test]
     fn full_rejects_new_lines_but_still_merges() {
         let mut m = MshrFile::new(1);
-        m.request(0x40, 10, false);
+        m.request(0, 0x40, 10, false);
         assert!(m.is_full());
-        assert_eq!(m.request(0x80, 10, false), MshrResult::Full);
-        assert_eq!(m.request(0x40, 50, true), MshrResult::Merged(10));
+        assert_eq!(m.request(0, 0x80, 10, false), MshrResult::Full);
+        assert_eq!(m.request(1, 0x40, 50, true), MshrResult::Merged(10));
     }
 
     #[test]
     fn write_merges_dirty_the_fill() {
         let mut m = MshrFile::new(2);
-        m.request(0x40, 10, false);
-        m.request(0x40, 12, true);
-        m.request(0x80, 11, true);
+        m.request(0, 0x40, 10, false);
+        m.request(2, 0x40, 12, true);
+        m.request(1, 0x80, 11, true);
         let done = m.take_completed(20);
-        assert_eq!(done, vec![(0x40, true), (0x80, true)]);
+        assert_eq!(done, vec![(0x40, true, 0), (0x80, true, 1)]);
     }
 
     #[test]
     fn retirement_is_selective() {
         let mut m = MshrFile::new(4);
-        m.request(0x40, 10, false);
-        m.request(0x80, 20, false);
-        assert_eq!(m.take_completed(15), vec![(0x40, false)]);
+        m.request(5, 0x40, 10, false);
+        m.request(6, 0x80, 20, false);
+        assert_eq!(m.take_completed(15), vec![(0x40, false, 5)]);
         assert_eq!(m.len(), 1);
         assert_eq!(m.lookup(0x80), Some(20));
     }

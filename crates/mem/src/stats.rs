@@ -1,6 +1,13 @@
 //! Memory-system statistics.
 
-use cpe_stats::{Counter, Histogram, Ratio};
+use cpe_stats::{Counter, Histogram, Log2Histogram, Ratio};
+
+use crate::dcache::LoadSource;
+
+/// Dense-bucket cap for the port-request-queue depth histogram: how many
+/// rejected port requests pile up in one cycle is bounded by the machine's
+/// issue width in practice, far below this.
+const PORT_QUEUE_BUCKETS: usize = 16;
 
 /// Every counter the memory hierarchy maintains.
 ///
@@ -60,6 +67,37 @@ pub struct MemStats {
     /// Distribution of slots used per cycle.
     pub slots_per_cycle: Histogram,
 
+    // --- Latency distributions (cycles from initiation to data-ready) ----
+    /// All successfully initiated loads, regardless of serving path.
+    pub load_latency: Log2Histogram,
+    /// Loads that took a port and hit (L1 or victim-cache swap).
+    pub load_latency_l1: Log2Histogram,
+    /// Loads served by a line buffer.
+    pub load_latency_lb: Log2Histogram,
+    /// Loads forwarded from the store buffer.
+    pub load_latency_forward: Log2Histogram,
+    /// Loads that shared another load's port access.
+    pub load_latency_combined: Log2Histogram,
+    /// Loads merged into an outstanding miss.
+    pub load_latency_merged: Log2Histogram,
+    /// Loads that started a new miss.
+    pub load_latency_miss: Log2Histogram,
+    /// Cycles a committed store waited from buffer entry to its cache
+    /// write (0 for unbuffered direct writes).
+    pub store_commit_latency: Log2Histogram,
+    /// Cycles each MSHR entry stayed allocated (miss issue to fill).
+    pub mshr_residency: Log2Histogram,
+
+    // --- Occupancy distributions (one sample per cycle) ------------------
+    /// Outstanding misses at end of cycle.
+    pub mshr_occupancy: Histogram,
+    /// Store-buffer entries at end of cycle.
+    pub store_buffer_occupancy: Histogram,
+    /// Port requests denied this cycle (loads and unbuffered stores that
+    /// found no slot or hit a bank conflict) — the depth of the implicit
+    /// retry queue in front of the ports.
+    pub port_queue_depth: Histogram,
+
     // --- Hierarchy ------------------------------------------------------------
     /// Dirty L1 lines written back on eviction.
     pub writebacks: Counter,
@@ -82,9 +120,10 @@ pub struct MemStats {
 }
 
 impl MemStats {
-    /// Zeroed statistics tracking up to `max_slots` port slots per cycle in
-    /// the per-cycle histogram.
-    pub fn new(max_slots: usize) -> MemStats {
+    /// Zeroed statistics. The dense occupancy histograms are sized to the
+    /// structures they observe: `max_slots` port slots per cycle, `mshrs`
+    /// outstanding misses, `sb_entries` store-buffer entries.
+    pub fn new(max_slots: usize, mshrs: usize, sb_entries: usize) -> MemStats {
         MemStats {
             loads: Counter::new(),
             stores: Counter::new(),
@@ -107,6 +146,18 @@ impl MemStats {
             port_slots_used: Counter::new(),
             port_slots_offered: Counter::new(),
             slots_per_cycle: Histogram::new(max_slots),
+            load_latency: Log2Histogram::new(),
+            load_latency_l1: Log2Histogram::new(),
+            load_latency_lb: Log2Histogram::new(),
+            load_latency_forward: Log2Histogram::new(),
+            load_latency_combined: Log2Histogram::new(),
+            load_latency_merged: Log2Histogram::new(),
+            load_latency_miss: Log2Histogram::new(),
+            store_commit_latency: Log2Histogram::new(),
+            mshr_residency: Log2Histogram::new(),
+            mshr_occupancy: Histogram::new(mshrs),
+            store_buffer_occupancy: Histogram::new(sb_entries),
+            port_queue_depth: Histogram::new(PORT_QUEUE_BUCKETS),
             writebacks: Counter::new(),
             l2_hits: Counter::new(),
             l2_misses: Counter::new(),
@@ -117,6 +168,34 @@ impl MemStats {
             victim_hits: Counter::new(),
             write_throughs: Counter::new(),
         }
+    }
+
+    /// Record a completed load's latency, both in the aggregate
+    /// distribution and in its serving path's.
+    pub fn record_load_latency(&mut self, source: LoadSource, latency: u64) {
+        self.load_latency.record(latency);
+        let path = match source {
+            LoadSource::L1Hit | LoadSource::VictimHit => &mut self.load_latency_l1,
+            LoadSource::LineBuffer => &mut self.load_latency_lb,
+            LoadSource::StoreForward => &mut self.load_latency_forward,
+            LoadSource::Combined => &mut self.load_latency_combined,
+            LoadSource::MissMerged => &mut self.load_latency_merged,
+            LoadSource::Miss => &mut self.load_latency_miss,
+        };
+        path.record(latency);
+    }
+
+    /// The per-path load-latency histograms with their report labels, in
+    /// presentation order.
+    pub fn load_latency_paths(&self) -> [(&'static str, &Log2Histogram); 6] {
+        [
+            ("l1_port_hit", &self.load_latency_l1),
+            ("line_buffer", &self.load_latency_lb),
+            ("store_forward", &self.load_latency_forward),
+            ("combined", &self.load_latency_combined),
+            ("mshr_merge", &self.load_latency_merged),
+            ("miss", &self.load_latency_miss),
+        ]
     }
 
     /// Fraction of offered port slots actually used.
@@ -148,7 +227,7 @@ impl MemStats {
 
 impl Default for MemStats {
     fn default() -> MemStats {
-        MemStats::new(4)
+        MemStats::new(4, 8, 8)
     }
 }
 
@@ -158,7 +237,7 @@ mod tests {
 
     #[test]
     fn derived_ratios() {
-        let mut s = MemStats::new(2);
+        let mut s = MemStats::new(2, 8, 8);
         s.loads.add(100);
         s.load_lb_hits.add(25);
         s.load_combined.add(5);
@@ -171,7 +250,7 @@ mod tests {
 
     #[test]
     fn miss_ratio_counts_only_port_loads() {
-        let mut s = MemStats::new(2);
+        let mut s = MemStats::new(2, 8, 8);
         s.load_l1_hits.add(90);
         s.load_misses.add(10);
         s.load_lb_hits.add(100); // must not dilute the ratio
@@ -184,5 +263,23 @@ mod tests {
         assert_eq!(s.port_utilisation().percent(), 0.0);
         assert_eq!(s.portless_load_fraction().percent(), 0.0);
         assert_eq!(s.data_refs(), 0);
+        assert_eq!(s.load_latency.p99(), None);
+    }
+
+    #[test]
+    fn load_latency_routes_to_the_right_path() {
+        let mut s = MemStats::default();
+        s.record_load_latency(LoadSource::L1Hit, 2);
+        s.record_load_latency(LoadSource::VictimHit, 4);
+        s.record_load_latency(LoadSource::LineBuffer, 1);
+        s.record_load_latency(LoadSource::Miss, 80);
+        assert_eq!(s.load_latency.total(), 4);
+        assert_eq!(s.load_latency_l1.total(), 2, "victim hits fold into l1");
+        assert_eq!(s.load_latency_lb.total(), 1);
+        assert_eq!(s.load_latency_miss.total(), 1);
+        assert_eq!(s.load_latency_forward.total(), 0);
+        let per_path: u64 = s.load_latency_paths().iter().map(|(_, h)| h.total()).sum();
+        assert_eq!(per_path, s.load_latency.total(), "paths partition loads");
+        assert_eq!(s.load_latency.max_seen(), 80);
     }
 }

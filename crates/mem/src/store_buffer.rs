@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use crate::Addr;
+use crate::{Addr, Cycle};
 
 /// How a load's bytes relate to the buffered stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,10 @@ pub struct StoreEntry {
     pub mask: u64,
     /// How many architectural stores merged into this entry.
     pub merged: u32,
+    /// Cycle the entry was created. Combining keeps the original entry's
+    /// timestamp — the oldest store has waited the longest, and that is
+    /// the wait the drain-latency accounting must charge.
+    pub pushed_at: Cycle,
 }
 
 /// FIFO of committed stores awaiting idle port slots.
@@ -39,8 +43,8 @@ pub struct StoreEntry {
 /// use cpe_mem::{StoreBuffer, Addr};
 ///
 /// let mut sb = StoreBuffer::new(4, true, 16);
-/// assert!(sb.push(Addr::new(0x100), 8));
-/// assert!(sb.push(Addr::new(0x108), 8)); // combines: same 16B chunk
+/// assert!(sb.push(0, Addr::new(0x100), 8));
+/// assert!(sb.push(1, Addr::new(0x108), 8)); // combines: same 16B chunk
 /// assert_eq!(sb.len(), 1);
 /// assert_eq!(sb.combined(), 1);
 /// ```
@@ -89,12 +93,13 @@ impl StoreBuffer {
         (chunk, mask)
     }
 
-    /// Buffer a committed store of `bytes` at `addr`. Returns `false` when
-    /// the buffer is full (the commit stage must stall and retry).
+    /// Buffer a committed store of `bytes` at `addr` during cycle `now`.
+    /// Returns `false` when the buffer is full (the commit stage must
+    /// stall and retry).
     ///
     /// A store that straddles a chunk boundary occupies two entries; it is
     /// rejected unless both fit.
-    pub fn push(&mut self, addr: Addr, bytes: u64) -> bool {
+    pub fn push(&mut self, now: Cycle, addr: Addr, bytes: u64) -> bool {
         let mut pieces = [(0u64, 0u64); 2];
         let mut n = 0;
         let (chunk, mask) = self.mask_for(addr, bytes);
@@ -132,6 +137,7 @@ impl StoreBuffer {
                 chunk_addr: chunk,
                 mask,
                 merged: 1,
+                pushed_at: now,
             });
         }
         self.pushed += 1;
@@ -223,15 +229,15 @@ mod tests {
     #[test]
     fn capacity_zero_rejects_everything() {
         let mut sb = StoreBuffer::new(0, true, 16);
-        assert!(!sb.push(Addr::new(0x100), 8));
+        assert!(!sb.push(0, Addr::new(0x100), 8));
         assert!(sb.is_full());
     }
 
     #[test]
     fn fifo_order_is_preserved() {
         let mut sb = StoreBuffer::new(4, false, 16);
-        sb.push(Addr::new(0x100), 8);
-        sb.push(Addr::new(0x200), 8);
+        sb.push(0, Addr::new(0x100), 8);
+        sb.push(0, Addr::new(0x200), 8);
         assert_eq!(sb.pop().unwrap().chunk_addr, 0x100);
         assert_eq!(sb.pop().unwrap().chunk_addr, 0x200);
         assert!(sb.pop().is_none());
@@ -240,15 +246,15 @@ mod tests {
     #[test]
     fn combining_merges_same_chunk_only_when_enabled() {
         let mut sb = StoreBuffer::new(4, true, 16);
-        sb.push(Addr::new(0x100), 8);
-        sb.push(Addr::new(0x108), 8);
+        sb.push(0, Addr::new(0x100), 8);
+        sb.push(0, Addr::new(0x108), 8);
         assert_eq!(sb.len(), 1);
         assert_eq!(sb.peek().unwrap().mask, 0xffff);
         assert_eq!(sb.peek().unwrap().merged, 2);
 
         let mut sb = StoreBuffer::new(4, false, 16);
-        sb.push(Addr::new(0x100), 8);
-        sb.push(Addr::new(0x108), 8);
+        sb.push(0, Addr::new(0x100), 8);
+        sb.push(0, Addr::new(0x108), 8);
         assert_eq!(sb.len(), 2);
         assert_eq!(sb.combined(), 0);
     }
@@ -256,7 +262,7 @@ mod tests {
     #[test]
     fn straddling_store_occupies_two_entries() {
         let mut sb = StoreBuffer::new(4, false, 16);
-        assert!(sb.push(Addr::new(0x10c), 8)); // bytes 0x10c..0x114
+        assert!(sb.push(0, Addr::new(0x10c), 8)); // bytes 0x10c..0x114
         assert_eq!(sb.len(), 2);
         assert_eq!(sb.pop().unwrap().mask, 0xf << 12);
         assert_eq!(sb.pop().unwrap().mask, 0xf);
@@ -265,7 +271,7 @@ mod tests {
     #[test]
     fn straddling_store_needs_room_for_both_pieces() {
         let mut sb = StoreBuffer::new(1, false, 16);
-        assert!(!sb.push(Addr::new(0x10c), 8));
+        assert!(!sb.push(0, Addr::new(0x10c), 8));
         assert!(
             sb.is_empty(),
             "rejected pushes must not leave partial state"
@@ -275,7 +281,7 @@ mod tests {
     #[test]
     fn forwarding_distinguishes_full_partial_none() {
         let mut sb = StoreBuffer::new(4, true, 16);
-        sb.push(Addr::new(0x100), 8); // bytes 0..8 of chunk 0x100
+        sb.push(0, Addr::new(0x100), 8); // bytes 0..8 of chunk 0x100
         assert_eq!(sb.forward(Addr::new(0x100), 8), ForwardResult::Full);
         assert_eq!(sb.forward(Addr::new(0x104), 4), ForwardResult::Full);
         assert_eq!(sb.forward(Addr::new(0x104), 8), ForwardResult::Partial);
@@ -286,8 +292,8 @@ mod tests {
     #[test]
     fn forwarding_sees_merged_coverage() {
         let mut sb = StoreBuffer::new(4, true, 16);
-        sb.push(Addr::new(0x100), 8);
-        sb.push(Addr::new(0x108), 8);
+        sb.push(0, Addr::new(0x100), 8);
+        sb.push(0, Addr::new(0x108), 8);
         assert_eq!(sb.forward(Addr::new(0x104), 8), ForwardResult::Full);
     }
 
@@ -307,7 +313,7 @@ mod tests {
                 if !seen.insert(slot) {
                     continue;
                 }
-                prop_assert!(sb.push(Addr::new(slot * 8), 8));
+                prop_assert!(sb.push(0, Addr::new(slot * 8), 8));
                 expected += 8;
             }
             let mut popped = 0u64;
@@ -322,7 +328,7 @@ mod tests {
         fn pushed_bytes_forward(base in 0u64..1000, combining in any::<bool>()) {
             let mut sb = StoreBuffer::new(8, combining, 16);
             let addr = Addr::new(base * 16); // chunk-aligned 8-byte store
-            prop_assert!(sb.push(addr, 8));
+            prop_assert!(sb.push(0, addr, 8));
             prop_assert_eq!(sb.forward(addr, 8), ForwardResult::Full);
             prop_assert_eq!(sb.forward(addr, 4), ForwardResult::Full);
         }

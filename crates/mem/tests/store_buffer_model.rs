@@ -125,7 +125,7 @@ proptest! {
         for (step, &op) in ops.iter().enumerate() {
             match op {
                 SbOp::Push { addr, bytes } => {
-                    let got = sb.push(Addr::new(addr), bytes);
+                    let got = sb.push(0, Addr::new(addr), bytes);
                     let want = model.push(addr, bytes);
                     prop_assert_eq!(got, want, "push at step {}", step);
                 }

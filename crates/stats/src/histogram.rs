@@ -109,15 +109,15 @@ impl Histogram {
 
     /// Merge another histogram's samples into this one.
     ///
-    /// # Panics
-    ///
-    /// Panics when the two histograms have different bucket counts.
+    /// Histograms of different widths merge fine: the dense range grows to
+    /// the wider of the two. Samples the narrower histogram had already
+    /// spilled into its overflow bucket stay in overflow (their exact
+    /// values are gone), so after a widening merge the overflow bucket may
+    /// hold values that would now fit a dense bucket.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(
-            self.buckets.len(),
-            other.buckets.len(),
-            "cannot merge histograms of different widths"
-        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
@@ -239,10 +239,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different widths")]
-    fn merge_rejects_mismatched_widths() {
-        let mut a = Histogram::new(3);
-        a.merge(&Histogram::new(4));
+    fn merge_grows_to_the_wider_histogram() {
+        // Narrow into wide: dense counts land in the right buckets.
+        let mut wide = Histogram::new(8);
+        wide.record(6);
+        let mut narrow = Histogram::new(2);
+        narrow.record(1);
+        narrow.record(5); // overflow for the narrow histogram
+        wide.merge(&narrow);
+        assert_eq!(wide.count(1), 1);
+        assert_eq!(wide.count(6), 1);
+        assert_eq!(wide.overflow(), 1, "pre-merge overflow is preserved");
+        assert_eq!(wide.total(), 3);
+
+        // Wide into narrow: the receiver grows, nothing is truncated.
+        let mut narrow = Histogram::new(2);
+        narrow.record(0);
+        let mut wide = Histogram::new(8);
+        wide.record(7);
+        narrow.merge(&wide);
+        assert_eq!(narrow.count(0), 1);
+        assert_eq!(narrow.count(7), 1);
+        assert_eq!(narrow.overflow(), 0);
+        assert_eq!(narrow.total(), 2);
+        assert_eq!(narrow.max_seen(), 7);
     }
 
     proptest! {

@@ -23,12 +23,14 @@
 
 mod counter;
 mod histogram;
+mod log2hist;
 mod summary;
 mod table;
 mod timeseries;
 
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
+pub use log2hist::Log2Histogram;
 pub use summary::{geometric_mean, harmonic_mean, mean, percent, Summary};
 pub use table::Table;
 pub use timeseries::TimeSeries;

@@ -74,6 +74,10 @@ pub struct Summary {
     pub median: f64,
     /// 75th percentile (linear interpolation).
     pub p75: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+    /// 99th percentile (linear interpolation).
+    pub p99: f64,
     /// Largest value.
     pub max: f64,
     /// Arithmetic mean.
@@ -103,6 +107,8 @@ impl Summary {
             p25: q(0.25),
             median: q(0.5),
             p75: q(0.75),
+            p95: q(0.95),
+            p99: q(0.99),
             max: v[v.len() - 1],
             mean: v.iter().sum::<f64>() / v.len() as f64,
             count: v.len(),
@@ -114,8 +120,16 @@ impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} min={:.3} p25={:.3} median={:.3} p75={:.3} max={:.3} mean={:.3}",
-            self.count, self.min, self.p25, self.median, self.p75, self.max, self.mean
+            "n={} min={:.3} p25={:.3} median={:.3} p75={:.3} p95={:.3} p99={:.3} max={:.3} mean={:.3}",
+            self.count,
+            self.min,
+            self.p25,
+            self.median,
+            self.p75,
+            self.p95,
+            self.p99,
+            self.max,
+            self.mean
         )
     }
 }
@@ -150,6 +164,8 @@ mod tests {
         assert_eq!(s.p25, 1.75);
         assert_eq!(s.median, 2.5);
         assert_eq!(s.p75, 3.25);
+        assert!((s.p95 - 3.85).abs() < 1e-12);
+        assert!((s.p99 - 3.97).abs() < 1e-12);
         assert_eq!(s.count, 4);
     }
 
@@ -166,6 +182,8 @@ mod tests {
         assert_eq!(s.p25, 7.5);
         assert_eq!(s.median, 7.5);
         assert_eq!(s.p75, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.p99, 7.5);
         assert_eq!(s.max, 7.5);
         assert_eq!(s.mean, 7.5);
         assert_eq!(s.count, 1);
@@ -192,7 +210,9 @@ mod tests {
             prop_assert!(s.min <= s.p25);
             prop_assert!(s.p25 <= s.median);
             prop_assert!(s.median <= s.p75);
-            prop_assert!(s.p75 <= s.max);
+            prop_assert!(s.p75 <= s.p95);
+            prop_assert!(s.p95 <= s.p99);
+            prop_assert!(s.p99 <= s.max);
             prop_assert!(s.min <= s.mean && s.mean <= s.max);
         }
 

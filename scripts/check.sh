@@ -26,4 +26,16 @@ echo "== trace feature off: cargo build --release --no-default-features" >&2
 cargo build --release -p cpe --no-default-features
 cargo test -q -p cpe-core --no-default-features --lib
 
+# Smoke the perf-gate loop end to end: a small bench must produce a
+# report whose self-diff is clean at zero tolerance (the simulated
+# counters are deterministic; wall-time fields are identical because the
+# file is compared with itself).
+echo "== bench smoke + self-diff gate" >&2
+bench_out="$(mktemp -t cpe-bench-XXXXXX.json)"
+trap 'rm -f "$bench_out"' EXIT
+cargo run --release --bin cpe -q -- bench --name check-smoke \
+    --max 2000 --out "$bench_out" >/dev/null
+cargo run --release --bin cpe -q -- diff "$bench_out" "$bench_out" \
+    --tolerance 0 >/dev/null
+
 echo "all checks passed" >&2

@@ -17,12 +17,21 @@
 //!                                   run the timing model over a recorded trace
 //! cpe fuzz-trace [--cases N] [--seed S] [--config NAME]
 //!                                   replay corrupted traces; fail on any panic
+//! cpe bench [--name N] [--config NAME] [--max N] [--out FILE]
+//!                                   benchmark the simulator itself over the
+//!                                   standard workloads; write BENCH_<name>.json
+//! cpe diff <a.json> <b.json> [--tolerance PCT]
+//!                                   compare two exported JSON documents
+//!                                   field by field; exit 1 on regression
 //! cpe workloads                     list the built-in workload suite
 //! cpe configs                       list the named machine configurations
+//! cpe --version                     print the version and exit
 //! ```
 //!
 //! Malformed numeric flags and unknown flags are rejected up front, and
 //! every failure path exits with code 2 after a one-line diagnosis.
+//! `cpe diff` alone exits 1 when the documents diverge beyond tolerance —
+//! distinct from 2, so CI can tell a regression from a usage error.
 
 use std::process::ExitCode;
 
@@ -31,7 +40,10 @@ use cpe::isa::{asm::assemble, Emulator, Program};
 use cpe::stats::Table;
 use cpe::trace::{chrome_trace_json, jsonl_record, TraceHandle};
 use cpe::workloads::{Scale, Workload};
-use cpe::{faultinject, profile_json, ProfileOptions, ProfiledRun, SimConfig, SimError, Simulator};
+use cpe::{
+    diff_json, faultinject, profile_json, BenchReport, ProfileOptions, ProfiledRun, SimConfig,
+    SimError, Simulator,
+};
 
 fn all_configs() -> Vec<SimConfig> {
     vec![
@@ -357,6 +369,42 @@ fn cmd_fuzz_trace(config_name: Option<String>, cases: u64, seed: u64) -> Result<
     }
 }
 
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let config = resolve_config(parse_flag(args, "--config"))?;
+    let name = parse_flag(args, "--name").unwrap_or_else(|| config.name.replace(' ', "_"));
+    let max = parse_number(args, "--max")?.unwrap_or(20_000);
+    let out = parse_flag(args, "--out").unwrap_or_else(|| format!("BENCH_{name}.json"));
+    let report =
+        BenchReport::run(&name, &config, max).map_err(|error| format!("bench: {error}"))?;
+    println!("{report}");
+    write_file(&out, &report.to_json())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Compare two exported JSON documents. `Ok(true)` means clean (exit 0);
+/// `Ok(false)` means they diverge beyond tolerance (exit 1).
+fn cmd_diff(a_path: &str, b_path: &str, tolerance_pct: f64) -> Result<bool, String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read `{path}`: {error}"))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    let report = diff_json(&a, &b, tolerance_pct / 100.0)
+        .map_err(|error| format!("{a_path} vs {b_path}: {error}"))?;
+    if report.is_clean() {
+        println!(
+            "{a_path} and {b_path} match: {} leaves within {tolerance_pct}% tolerance",
+            report.compared
+        );
+        Ok(true)
+    } else {
+        println!("{a_path} -> {b_path}:");
+        println!("{report}");
+        Ok(false)
+    }
+}
+
 fn cmd_workloads() {
     let mut table = Table::new(["name", "description", "test-scale dyn. insts"]);
     for workload in Workload::EXTENDED {
@@ -384,19 +432,29 @@ fn usage() -> &'static str {
      [--interval N] [--ring N] [--trace-out FILE] [--trace-format chrome|jsonl]\n              \
      [--metrics-json FILE]\n  cpe compare <file.s> [--max N] [--metrics-json FILE]\n  \
      cpe record <file.s> -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  \
-     cpe fuzz-trace [--cases N] [--seed S] [--config NAME]\n  cpe workloads\n  cpe configs"
+     cpe fuzz-trace [--cases N] [--seed S] [--config NAME]\n  \
+     cpe bench [--name N] [--config NAME] [--max N] [--out FILE]\n  \
+     cpe diff <a.json> <b.json> [--tolerance PCT]\n  cpe workloads\n  cpe configs\n  \
+     cpe --version"
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+    // Most commands exit 0 on success; `diff` alone maps a clean compare
+    // to 0 and a beyond-tolerance divergence to 1.
+    let done = |result: Result<(), String>| result.map(|()| ExitCode::SUCCESS);
     match args.first().map(String::as_str) {
+        Some("--version" | "-V") => {
+            println!("cpe {}", env!("CARGO_PKG_VERSION"));
+            Ok(ExitCode::SUCCESS)
+        }
         Some("asm") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &[], &[])?;
-            cmd_asm(&args[1])
+            done(cmd_asm(&args[1]))
         }
         Some("trace") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &["-n"], &[])?;
             let count = parse_number(args, "-n")?.unwrap_or(50);
-            cmd_trace(&args[1], count)
+            done(cmd_trace(&args[1], count))
         }
         Some("run") if args.len() >= 2 => {
             reject_unknown_flags(
@@ -406,13 +464,13 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             )?;
             let max = parse_number(args, "--max")?;
             let detail = args.iter().any(|arg| arg == "--detail");
-            cmd_run(
+            done(cmd_run(
                 &args[1],
                 parse_flag(args, "--config"),
                 max,
                 detail,
                 parse_flag(args, "--metrics-json"),
-            )
+            ))
         }
         Some("profile") => {
             reject_unknown_flags(
@@ -430,38 +488,66 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 ],
                 &[],
             )?;
-            cmd_profile(args)
+            done(cmd_profile(args))
         }
         Some("compare") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &["--max", "--metrics-json"], &[])?;
             let max = parse_number(args, "--max")?;
-            cmd_compare(&args[1], max, parse_flag(args, "--metrics-json"))
+            done(cmd_compare(
+                &args[1],
+                max,
+                parse_flag(args, "--metrics-json"),
+            ))
         }
         Some("record") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &["-o"], &[])?;
             let output = parse_flag(args, "-o").unwrap_or_else(|| "trace.cpet".to_string());
-            cmd_record(&args[1], &output)
+            done(cmd_record(&args[1], &output))
         }
         Some("replay") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &["--config", "--max"], &[])?;
             let max = parse_number(args, "--max")?;
-            cmd_replay(&args[1], parse_flag(args, "--config"), max)
+            done(cmd_replay(&args[1], parse_flag(args, "--config"), max))
         }
         Some("fuzz-trace") => {
             reject_unknown_flags(&args[1..], &["--config", "--cases", "--seed"], &[])?;
             let cases = parse_number(args, "--cases")?.unwrap_or(500);
             let seed = parse_number(args, "--seed")?.unwrap_or(0xC0FFEE);
-            cmd_fuzz_trace(parse_flag(args, "--config"), cases, seed)
+            done(cmd_fuzz_trace(parse_flag(args, "--config"), cases, seed))
+        }
+        Some("bench") => {
+            reject_unknown_flags(&args[1..], &["--name", "--config", "--max", "--out"], &[])?;
+            done(cmd_bench(args))
+        }
+        Some("diff") if args.len() >= 3 => {
+            reject_unknown_flags(&args[3..], &["--tolerance"], &[])?;
+            let tolerance = match parse_flag(args, "--tolerance") {
+                None => 5.0,
+                Some(text) => match text.parse::<f64>() {
+                    Ok(value) if value >= 0.0 && value.is_finite() => value,
+                    _ => {
+                        return Err(format!(
+                            "invalid value for --tolerance: `{text}` \
+                             (expected a non-negative percentage)"
+                        ))
+                    }
+                },
+            };
+            if cmd_diff(&args[1], &args[2], tolerance)? {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::from(1))
+            }
         }
         Some("workloads") => {
             reject_unknown_flags(&args[1..], &[], &[])?;
             cmd_workloads();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some("configs") => {
             reject_unknown_flags(&args[1..], &[], &[])?;
             cmd_configs();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         _ => Err(usage().to_string()),
     }
@@ -470,7 +556,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("{message}");
             ExitCode::from(2)

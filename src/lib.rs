@@ -36,8 +36,9 @@
 //! ```
 
 pub use cpe_core::{
-    config_json, detailed_report, faultinject, profile_json, summary_json, ConfigError,
-    EpochMetrics, Experiment, MetricsSeries, ProfileOptions, ProfiledRun, ResultRow, RunSummary,
+    config_json, detailed_report, diff_json, faultinject, parse_json, peak_rss_bytes, profile_json,
+    summary_json, BenchEntry, BenchReport, ConfigError, DiffEntry, DiffReport, EpochMetrics,
+    Experiment, JsonValue, MetricsSeries, ProfileOptions, ProfiledRun, ResultRow, RunSummary,
     SelfProfile, SimConfig, SimError, Simulator, METRICS_SCHEMA,
 };
 

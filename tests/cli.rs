@@ -36,6 +36,43 @@ fn no_arguments_prints_usage_and_fails() {
 }
 
 #[test]
+fn usage_covers_every_subcommand() {
+    let output = cpe().output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    for sub in [
+        "cpe asm",
+        "cpe trace",
+        "cpe run",
+        "cpe profile",
+        "cpe compare",
+        "cpe record",
+        "cpe replay",
+        "cpe fuzz-trace",
+        "cpe bench",
+        "cpe diff",
+        "cpe workloads",
+        "cpe configs",
+        "cpe --version",
+    ] {
+        assert!(stderr.contains(sub), "usage missing `{sub}`: {stderr}");
+    }
+}
+
+#[test]
+fn version_flag_prints_the_crate_version() {
+    for flag in ["--version", "-V"] {
+        let output = cpe().arg(flag).output().unwrap();
+        assert!(output.status.success(), "{flag}");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert_eq!(
+            stdout.trim(),
+            format!("cpe {}", env!("CARGO_PKG_VERSION")),
+            "{flag}: {stdout}"
+        );
+    }
+}
+
+#[test]
 fn asm_lists_the_program() {
     let dir = tempdir();
     let program = write_program(&dir);
@@ -252,7 +289,7 @@ fn run_metrics_json_is_self_describing() {
     assert!(stdout.contains("IPC"), "{stdout}");
 
     let doc = std::fs::read_to_string(&metrics).unwrap();
-    assert!(doc.contains("\"schema\":1"), "{doc}");
+    assert!(doc.contains("\"schema\":2"), "{doc}");
     // The document embeds the full machine configuration it was run on.
     assert!(doc.contains("\"config\""), "{doc}");
     assert!(doc.contains("\"name\":\"1-port combined\""), "{doc}");
@@ -311,6 +348,152 @@ fn profile_requires_a_workload() {
     assert_eq!(output.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("--workload"), "{stderr}");
+}
+
+#[test]
+fn profile_metrics_json_carries_latency_distributions() {
+    let dir = tempdir();
+    let metrics = dir.join("profile-dists.json");
+    let output = cpe()
+        .args(["profile", "--workload", "sort", "--max", "5000"])
+        .args(["--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("\"distributions\""), "{doc}");
+    for path in [
+        "l1_port_hit",
+        "line_buffer",
+        "store_forward",
+        "combined",
+        "mshr_merge",
+        "miss",
+    ] {
+        assert!(
+            doc.contains(&format!("\"{path}\"")),
+            "missing {path}: {doc}"
+        );
+    }
+    for field in ["\"p50\"", "\"p95\"", "\"p99\"", "\"occupancy\""] {
+        assert!(doc.contains(field), "missing {field}: {doc}");
+    }
+    // A run with loads must report a real aggregate p50, not null.
+    let aggregate = doc.split("\"load_latency\":").nth(1).unwrap();
+    let p50 = aggregate.split("\"p50\":").nth(1).unwrap();
+    assert!(!p50.starts_with("null"), "{doc}");
+}
+
+#[test]
+fn bench_writes_a_report_with_wall_time_and_throughput() {
+    let dir = tempdir();
+    let out = dir.join("BENCH_cli.json");
+    let output = cpe()
+        .args(["bench", "--name", "cli", "--max", "2000", "--out"])
+        .arg(&out)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("wall s"), "{stdout}");
+    assert!(stdout.contains("wrote "), "{stdout}");
+
+    let doc = std::fs::read_to_string(&out).unwrap();
+    assert!(doc.contains("\"kind\":\"bench\""), "{doc}");
+    assert!(doc.contains("\"wall_seconds\""), "{doc}");
+    assert!(doc.contains("\"cycles_per_sec\""), "{doc}");
+    for workload in ["compress", "mpeg", "db", "fft", "sort", "pmake"] {
+        assert!(doc.contains(&format!("\"{workload}\"")), "{doc}");
+    }
+}
+
+#[test]
+fn diff_of_identical_files_exits_zero() {
+    let dir = tempdir();
+    let metrics = dir.join("diff-self.json");
+    let run = cpe()
+        .args(["profile", "--workload", "fft", "--max", "3000"])
+        .args(["--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(run.status.success());
+
+    let output = cpe()
+        .arg("diff")
+        .arg(&metrics)
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("match"), "{stdout}");
+}
+
+#[test]
+fn diff_flags_divergent_port_counts_with_exit_one() {
+    let dir = tempdir();
+    let naive = dir.join("diff-naive.json");
+    let quad = dir.join("diff-quad.json");
+    for (config, path) in [("1-port naive", &naive), ("4-port", &quad)] {
+        let run = cpe()
+            .args(["profile", "--workload", "sort", "--max", "5000"])
+            .args(["--config", config, "--metrics-json"])
+            .arg(path)
+            .output()
+            .unwrap();
+        assert!(run.status.success(), "{config}");
+    }
+
+    let output = cpe().arg("diff").arg(&naive).arg(&quad).output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("tolerance"), "{stdout}");
+    assert!(stdout.contains("ports.count"), "{stdout}");
+
+    // A sky-high tolerance ignores numeric drift but still flags the
+    // config-name strings, so the gate stays non-zero.
+    let loose = cpe()
+        .args(["diff"])
+        .arg(&naive)
+        .arg(&quad)
+        .args(["--tolerance", "1000"])
+        .output()
+        .unwrap();
+    assert_eq!(loose.status.code(), Some(1));
+}
+
+#[test]
+fn diff_rejects_malformed_tolerance_and_missing_files() {
+    let dir = tempdir();
+    let metrics = dir.join("diff-usage.json");
+    std::fs::write(&metrics, "{\"x\":1}").unwrap();
+
+    let bad_tol = cpe()
+        .args(["diff"])
+        .arg(&metrics)
+        .arg(&metrics)
+        .args(["--tolerance", "-3"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_tol.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&bad_tol.stderr);
+    assert!(stderr.contains("--tolerance"), "{stderr}");
+
+    let missing = cpe()
+        .args(["diff", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2));
 }
 
 #[test]
