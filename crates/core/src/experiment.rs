@@ -107,6 +107,17 @@ impl Experiment {
         self.run_with_progress(|_, _| {})
     }
 
+    /// Validate every configuration exactly once, before any cell runs.
+    /// A config used by W workloads used to be validated W times, once
+    /// per cell; now its cells share one verdict, and the invalid ones
+    /// fail up front without ever reaching a runner.
+    fn prevalidate(&self) -> Vec<Option<SimError>> {
+        self.configs
+            .iter()
+            .map(|config| config.validate().err().map(SimError::from))
+            .collect()
+    }
+
     fn run_with_runner(
         &self,
         runner: CellRunner<'_>,
@@ -114,11 +125,15 @@ impl Experiment {
     ) -> ExperimentResults {
         assert!(!self.configs.is_empty(), "add at least one configuration");
         assert!(!self.workloads.is_empty(), "add at least one workload");
+        let prechecked = self.prevalidate();
         let mut rows = Vec::new();
         for &workload in &self.workloads {
             for (config_index, config) in self.configs.iter().enumerate() {
                 progress(workload, &config.name);
-                let outcome = isolate(|| runner(config, workload, self.scale, self.max_insts));
+                let outcome = match &prechecked[config_index] {
+                    Some(error) => Err(error.clone()),
+                    None => isolate(|| runner(config, workload, self.scale, self.max_insts)),
+                };
                 rows.push(ResultRow {
                     config_index,
                     workload,
@@ -148,16 +163,19 @@ impl Experiment {
     ) -> ExperimentResults {
         assert!(!self.configs.is_empty(), "add at least one configuration");
         assert!(!self.workloads.is_empty(), "add at least one workload");
+        let prechecked = self.prevalidate();
         let workers = if threads == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get())
         } else {
             threads
         };
-        // The job grid, round-robin across workers for rough balance.
+        // The job grid — only the cells of valid configs go to workers,
+        // round-robin for rough balance; invalid cells fail up front.
         let jobs: Vec<(usize, Workload)> = self
             .workloads
             .iter()
             .flat_map(|&workload| (0..self.configs.len()).map(move |index| (index, workload)))
+            .filter(|&(index, _)| prechecked[index].is_none())
             .collect();
         let mut rows: Vec<ResultRow> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers.min(jobs.len().max(1)))
@@ -193,6 +211,17 @@ impl Experiment {
                 })
                 .collect()
         });
+        for &workload in &self.workloads {
+            for (config_index, error) in prechecked.iter().enumerate() {
+                if let Some(error) = error {
+                    rows.push(ResultRow {
+                        config_index,
+                        workload,
+                        outcome: Err(error.clone()),
+                    });
+                }
+            }
+        }
         // Restore the canonical (workload-major, config) order.
         let workload_rank = |w: Workload| {
             self.workloads
@@ -520,6 +549,35 @@ mod tests {
         // The geomean still covers the healthy columns.
         assert!(poisoned.geomean_ipc(0) > 0.0);
         assert_eq!(poisoned.geomean_ipc(1), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_never_reach_a_runner() {
+        // Validation is hoisted: an invalid config's cells fail up front
+        // with the shared verdict, and the runner only ever sees valid
+        // configs — serially and in parallel.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let experiment = Experiment::new(Scale::Test, Some(4_000))
+            .config(SimConfig::naive_single_port())
+            .config(SimConfig::dual_port().with_ports(0).named("broken"))
+            .workloads(&[Workload::Compress, Workload::Sort]);
+        let ran = AtomicUsize::new(0);
+        let runner: CellRunner<'_> = &|config, workload, scale, max_insts| {
+            assert_ne!(config.name, "broken", "invalid config reached a runner");
+            ran.fetch_add(1, Ordering::Relaxed);
+            Experiment::run_cell(config, workload, scale, max_insts)
+        };
+        for results in [
+            experiment.run_with_runner(runner, |_, _| {}),
+            experiment.run_parallel_with_runner(runner, 2),
+        ] {
+            assert_eq!(results.failures().len(), 2);
+            for workload in [Workload::Compress, Workload::Sort] {
+                assert_eq!(results.failure(workload, 1).unwrap().kind(), "config");
+                assert!(results.cell(workload, 0).is_some());
+            }
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 4, "two valid cells per mode");
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Cached, parallel configuration × workload sweeps.
+//!
+//! A [`SweepPlan`] is the grid `cpe sweep` runs: every cell is one
+//! [`Job`], executed through the work-stealing scheduler with the result
+//! cache in front. Aggregates (the IPC table and the sweep metrics
+//! document) are built exclusively from each cell's parsed document via
+//! the deterministic renderer, so they are **byte-identical** across
+//! worker counts and across fresh-vs-cached runs — the property
+//! `crates/exec/tests/parallel_matches_serial.rs` pins down.
+
+use std::fmt;
+use std::time::Instant;
+
+use cpe_core::{JsonValue, SimConfig, SimError, METRICS_SCHEMA};
+use cpe_stats::{geometric_mean, Table};
+use cpe_workloads::{Scale, Workload};
+
+use crate::cache::ResultCache;
+use crate::job::{execute_jobs, preset_configs, scale_name, CacheStatus, Job, JobOutcome};
+use crate::render::{member, number_at, parse, render};
+
+/// The grid a sweep executes: configurations × workloads at one scale
+/// and instruction window.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Configurations, in column order.
+    pub configs: Vec<SimConfig>,
+    /// Workloads, in row order.
+    pub workloads: Vec<Workload>,
+    /// Problem-size preset for every cell.
+    pub scale: Scale,
+    /// Committed-instruction window for every cell.
+    pub max_insts: Option<u64>,
+}
+
+impl SweepPlan {
+    /// The standard port-count grid: every preset configuration over the
+    /// six paper workloads.
+    pub fn standard(scale: Scale, max_insts: Option<u64>) -> SweepPlan {
+        SweepPlan {
+            configs: preset_configs(),
+            workloads: Workload::ALL.to_vec(),
+            scale,
+            max_insts,
+        }
+    }
+
+    /// The grid as jobs, workload-major (matching the serial
+    /// `Experiment` order).
+    pub fn jobs(&self) -> Vec<Job> {
+        self.workloads
+            .iter()
+            .flat_map(|&workload| {
+                self.configs.iter().map(move |config| Job {
+                    config: config.clone(),
+                    workload,
+                    scale: self.scale,
+                    max_insts: self.max_insts,
+                })
+            })
+            .collect()
+    }
+
+    /// Validate the whole grid up front — each configuration exactly
+    /// once — so a bad base config is rejected before any cell starts.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for the first inconsistent
+    /// configuration; the sweep should not start.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.configs.is_empty() || self.workloads.is_empty() {
+            return Err(SimError::InvalidConfig(cpe_core::ConfigError {
+                config: "(sweep)".to_string(),
+                message: "add at least one configuration and one workload".to_string(),
+            }));
+        }
+        for config in &self.configs {
+            config.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Execute the grid across `workers` threads, through `cache` when
+    /// attached. Cell failures land in their cells; this call only fails
+    /// when the grid itself is invalid (see [`SweepPlan::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the grid is empty.
+    pub fn run(
+        &self,
+        workers: usize,
+        cache: Option<&ResultCache>,
+    ) -> Result<SweepResults, SimError> {
+        if self.configs.is_empty() || self.workloads.is_empty() {
+            self.validate()?;
+        }
+        let started = Instant::now();
+        let jobs = self.jobs();
+        let (outcomes, scheduler) = execute_jobs(&jobs, workers, cache);
+        let cells: Vec<Result<JsonValue, SimError>> = outcomes
+            .iter()
+            .map(|outcome| match &outcome.document {
+                Ok(document) => {
+                    parse(document).map_err(|message| SimError::Trace { index: 0, message })
+                }
+                Err(error) => Err(error.clone()),
+            })
+            .collect();
+        let mut stats = SweepStats {
+            cells: outcomes.len(),
+            workers: scheduler.workers,
+            steals: scheduler.steals,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            ..SweepStats::default()
+        };
+        for outcome in &outcomes {
+            match (&outcome.document, outcome.cache) {
+                (Err(_), _) => stats.failed += 1,
+                (Ok(_), CacheStatus::Hit) => stats.hits += 1,
+                (Ok(_), CacheStatus::Miss) => stats.misses += 1,
+                (Ok(_), CacheStatus::Bypass) => stats.bypassed += 1,
+            }
+        }
+        Ok(SweepResults {
+            plan: self.clone(),
+            outcomes,
+            cells,
+            stats,
+        })
+    }
+}
+
+/// What a sweep cost and how the cache served it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SweepStats {
+    /// Grid cells executed.
+    pub cells: usize,
+    /// Cells served from the cache.
+    pub hits: usize,
+    /// Cells computed and stored.
+    pub misses: usize,
+    /// Cells computed with no cache attached.
+    pub bypassed: usize,
+    /// Cells that failed (`FAILED(<kind>)` in the table).
+    pub failed: usize,
+    /// Wall seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Work-stealing migrations between workers.
+    pub steals: u64,
+}
+
+impl SweepStats {
+    /// Cache hit rate over the cells that went through the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let through_cache = self.hits + self.misses;
+        if through_cache == 0 {
+            0.0
+        } else {
+            self.hits as f64 / through_cache as f64
+        }
+    }
+}
+
+impl fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells in {:.2}s across {} worker(s), {} steal(s): \
+             {} hit(s), {} miss(es), {} uncached, {} failed — hit rate {:.1}%",
+            self.cells,
+            self.wall_seconds,
+            self.workers,
+            self.steals,
+            self.hits,
+            self.misses,
+            self.bypassed,
+            self.failed,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// The completed sweep: every cell's outcome plus parsed document.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    plan: SweepPlan,
+    outcomes: Vec<JobOutcome>,
+    cells: Vec<Result<JsonValue, SimError>>,
+    /// Cost and cache accounting for the run.
+    pub stats: SweepStats,
+}
+
+impl SweepResults {
+    /// Every cell outcome, in workload-major grid order.
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// The plan this sweep ran.
+    pub fn plan(&self) -> &SweepPlan {
+        &self.plan
+    }
+
+    fn cell(&self, workload_index: usize, config_index: usize) -> &Result<JsonValue, SimError> {
+        &self.cells[workload_index * self.plan.configs.len() + config_index]
+    }
+
+    /// A numeric summary metric for one cell, when it succeeded.
+    pub fn summary_number(
+        &self,
+        workload_index: usize,
+        config_index: usize,
+        field: &str,
+    ) -> Option<f64> {
+        number_at(
+            self.cell(workload_index, config_index).as_ref().ok()?,
+            &["summary", field],
+        )
+    }
+
+    fn cell_text(&self, workload_index: usize, config_index: usize, field: &str) -> String {
+        match self.cell(workload_index, config_index) {
+            Ok(_) => self
+                .summary_number(workload_index, config_index, field)
+                .map(|value| format!("{value:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+            Err(error) => format!("FAILED({})", error.kind()),
+        }
+    }
+
+    /// IPC per workload per configuration, plus a geomean row — the same
+    /// shape the serial `Experiment::ipc_table` renders.
+    pub fn ipc_table(&self) -> Table {
+        self.metric_table("IPC", "ipc", true)
+    }
+
+    /// Any summary metric as a (workload × config) table.
+    pub fn metric_table(&self, label: &str, field: &str, geomean: bool) -> Table {
+        let mut header = vec![format!("workload ({label})")];
+        header.extend(self.plan.configs.iter().map(|c| c.name.clone()));
+        let mut table = Table::new(header);
+        for (workload_index, workload) in self.plan.workloads.iter().enumerate() {
+            let mut row = vec![workload.name().to_string()];
+            for config_index in 0..self.plan.configs.len() {
+                row.push(self.cell_text(workload_index, config_index, field));
+            }
+            table.row(row);
+        }
+        if geomean {
+            let mut geo = vec!["geomean".to_string()];
+            for config_index in 0..self.plan.configs.len() {
+                let mean = geometric_mean(
+                    (0..self.plan.workloads.len())
+                        .filter_map(|w| self.summary_number(w, config_index, field)),
+                )
+                .unwrap_or(0.0);
+                geo.push(format!("{mean:.3}"));
+            }
+            table.row(geo);
+        }
+        table
+    }
+
+    /// The aggregate sweep document: grid shape plus each cell's
+    /// deterministic `summary` and `distributions` objects (never the
+    /// self-profile or wall times, which vary run to run). Byte-identical
+    /// across worker counts and cache states.
+    pub fn aggregate_json(&self) -> String {
+        let configs: Vec<String> = self
+            .plan
+            .configs
+            .iter()
+            .map(|c| format!("\"{}\"", c.name.replace('"', "\\\"")))
+            .collect();
+        let workloads: Vec<String> = self
+            .plan
+            .workloads
+            .iter()
+            .map(|w| format!("\"{}\"", w.name()))
+            .collect();
+        let window = match self.plan.max_insts {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for (workload_index, workload) in self.plan.workloads.iter().enumerate() {
+            for (config_index, config) in self.plan.configs.iter().enumerate() {
+                let head = format!(
+                    "{{\"config\":\"{}\",\"workload\":\"{}\"",
+                    config.name.replace('"', "\\\""),
+                    workload.name()
+                );
+                let cell = match self.cell(workload_index, config_index) {
+                    Ok(document) => {
+                        let summary = member(document, "summary").map(render);
+                        let distributions = member(document, "distributions").map(render);
+                        match (summary, distributions) {
+                            (Some(summary), Some(distributions)) => format!(
+                                "{head},\"summary\":{summary},\"distributions\":{distributions}}}"
+                            ),
+                            _ => format!("{head},\"failed\":\"malformed\"}}"),
+                        }
+                    }
+                    Err(error) => format!("{head},\"failed\":\"{}\"}}", error.kind()),
+                };
+                cells.push(cell);
+            }
+        }
+        format!(
+            "{{\"schema\":{METRICS_SCHEMA},\"kind\":\"sweep\",\"scale\":\"{}\",\
+             \"max_insts\":{window},\"configs\":[{}],\"workloads\":[{}],\"cells\":[{}]}}",
+            scale_name(self.plan.scale),
+            configs.join(","),
+            workloads.join(","),
+            cells.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> SweepPlan {
+        SweepPlan {
+            configs: vec![SimConfig::naive_single_port(), SimConfig::dual_port()],
+            workloads: vec![Workload::Compress, Workload::Sort],
+            scale: Scale::Test,
+            max_insts: Some(4_000),
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_aggregates_parse() {
+        let results = tiny_plan().run(2, None).expect("grid is valid");
+        assert_eq!(results.outcomes().len(), 4);
+        assert_eq!(results.stats.cells, 4);
+        assert_eq!(results.stats.bypassed, 4);
+        let table = results.ipc_table();
+        assert_eq!(table.len(), 3, "two workloads + geomean");
+        let doc = results.aggregate_json();
+        let parsed = parse(&doc).expect("aggregate parses");
+        assert_eq!(number_at(&parsed, &["schema"]), Some(2.0));
+        assert!(doc.contains("\"kind\":\"sweep\""));
+        assert!(doc.contains("\"summary\":{"));
+        assert!(doc.contains("\"distributions\":{"));
+        assert!(!doc.contains("self_profile"), "no nondeterministic fields");
+        assert!(!doc.contains("wall_seconds"), "no nondeterministic fields");
+    }
+
+    #[test]
+    fn invalid_grid_is_rejected_before_any_cell() {
+        let mut plan = tiny_plan();
+        plan.configs.push(SimConfig::dual_port().with_ports(0));
+        let error = plan.validate().expect_err("zero ports");
+        assert_eq!(error.kind(), "config");
+        let empty = SweepPlan {
+            configs: vec![],
+            workloads: vec![],
+            scale: Scale::Test,
+            max_insts: None,
+        };
+        assert!(empty.validate().is_err());
+        assert!(empty.run(1, None).is_err());
+    }
+
+    #[test]
+    fn failed_cells_render_failed_kind_in_table_and_json() {
+        let mut plan = tiny_plan();
+        plan.configs
+            .push(SimConfig::naive_single_port().with_ports(0).named("bad"));
+        // validate() would reject it; run the grid anyway to check cell
+        // isolation when a caller skips validation.
+        let results = plan.run(2, None).expect("grid is non-empty");
+        assert_eq!(results.stats.failed, 2);
+        let csv = results.ipc_table().to_csv();
+        assert!(csv.contains("FAILED(config)"), "{csv}");
+        assert!(results.aggregate_json().contains("\"failed\":\"config\""));
+    }
+}

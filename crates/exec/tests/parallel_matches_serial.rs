@@ -1,0 +1,98 @@
+//! The execution layer's core promise, end to end: a parallel, cached
+//! sweep produces **byte-identical** aggregate output to the serial,
+//! uncached path — same IPC table, same sweep metrics document — and a
+//! repeated sweep is served entirely from the cache without changing a
+//! byte.
+
+use cpe_core::SimConfig;
+use cpe_exec::{CacheStatus, ResultCache, SweepPlan};
+use cpe_workloads::{Scale, Workload};
+
+fn plan() -> SweepPlan {
+    SweepPlan {
+        configs: vec![
+            SimConfig::naive_single_port(),
+            SimConfig::dual_port(),
+            SimConfig::combined_single_port(),
+        ],
+        workloads: vec![Workload::Compress, Workload::Sort, Workload::Fft],
+        scale: Scale::Test,
+        max_insts: Some(5_000),
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cpe-exec-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn two_worker_sweep_matches_the_serial_path_byte_for_byte() {
+    let plan = plan();
+    let serial = plan.run(1, None).expect("serial sweep runs");
+    let parallel = plan.run(2, None).expect("parallel sweep runs");
+
+    assert_eq!(
+        serial.ipc_table().to_csv(),
+        parallel.ipc_table().to_csv(),
+        "IPC table must not depend on worker count"
+    );
+    assert_eq!(
+        serial.aggregate_json(),
+        parallel.aggregate_json(),
+        "sweep metrics document must not depend on worker count"
+    );
+}
+
+#[test]
+fn cached_rerun_is_all_hits_and_byte_identical() {
+    let dir = scratch_dir("rerun");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::new(&dir);
+    let plan = plan();
+
+    let serial = plan.run(1, None).expect("uncached serial sweep runs");
+    let first = plan.run(2, Some(&cache)).expect("first cached sweep runs");
+    assert_eq!(first.stats.misses, 9, "cold cache: every cell computes");
+    let second = plan.run(4, Some(&cache)).expect("second cached sweep runs");
+    assert_eq!(second.stats.hits, 9, "warm cache: every cell is a hit");
+    assert!((second.stats.hit_rate() - 1.0).abs() < 1e-12);
+    assert!(second
+        .outcomes()
+        .iter()
+        .all(|outcome| outcome.cache == CacheStatus::Hit));
+
+    // All three agree byte for byte: uncached serial, cold parallel,
+    // warm parallel.
+    let reference = serial.aggregate_json();
+    assert_eq!(reference, first.aggregate_json());
+    assert_eq!(reference, second.aggregate_json());
+    let table = serial.ipc_table().to_csv();
+    assert_eq!(table, first.ipc_table().to_csv());
+    assert_eq!(table, second.ipc_table().to_csv());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_survives_across_plan_objects_but_not_across_parameters() {
+    let dir = scratch_dir("params");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::new(&dir);
+
+    let warm = plan();
+    warm.run(2, Some(&cache)).expect("warm-up sweep runs");
+
+    // A freshly-built identical plan hits — content addressing, not
+    // object identity.
+    let rebuilt = plan().run(2, Some(&cache)).expect("rebuilt plan runs");
+    assert_eq!(rebuilt.stats.hits, 9);
+
+    // A different instruction window shares nothing.
+    let mut shifted = plan();
+    shifted.max_insts = Some(6_000);
+    let shifted = shifted.run(2, Some(&cache)).expect("shifted plan runs");
+    assert_eq!(shifted.stats.hits, 0);
+    assert_eq!(shifted.stats.misses, 9);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -32,10 +32,34 @@ cargo test -q -p cpe-core --no-default-features --lib
 # file is compared with itself).
 echo "== bench smoke + self-diff gate" >&2
 bench_out="$(mktemp -t cpe-bench-XXXXXX.json)"
-trap 'rm -f "$bench_out"' EXIT
+scratch="$(mktemp -d -t cpe-check-XXXXXX)"
+trap 'rm -f "$bench_out"; rm -rf "$scratch"' EXIT
 cargo run --release --bin cpe -q -- bench --name check-smoke \
     --max 2000 --out "$bench_out" >/dev/null
 cargo run --release --bin cpe -q -- diff "$bench_out" "$bench_out" \
     --tolerance 0 >/dev/null
+
+# Execution-layer gate (see docs/EXECUTION.md): a 2-worker smoke sweep,
+# then the same sweep again — the re-run must be served entirely from
+# the result cache, and both the table (stdout) and the metrics
+# document must be byte-identical, with `cpe diff` clean at zero
+# tolerance. This is the contract `cpe sweep` rests on: worker count
+# and cache state never change a byte of output.
+echo "== parallel sweep smoke + cache-hit gate" >&2
+sweep() {
+    cargo run --release --bin cpe -q -- sweep --jobs 2 --max 2000 \
+        --workloads compress,sort --cache-dir "$scratch/cache" \
+        --metrics-json "$1"
+}
+sweep "$scratch/sweep1.json" > "$scratch/table1.txt" 2>/dev/null
+sweep "$scratch/sweep2.json" > "$scratch/table2.txt" 2> "$scratch/rerun.log"
+grep -q "hit rate 100.0%" "$scratch/rerun.log" || {
+    echo "sweep re-run was not served fully from the cache:" >&2
+    cat "$scratch/rerun.log" >&2
+    exit 1
+}
+cmp "$scratch/table1.txt" "$scratch/table2.txt"
+cargo run --release --bin cpe -q -- diff "$scratch/sweep1.json" \
+    "$scratch/sweep2.json" --tolerance 0 >/dev/null
 
 echo "all checks passed" >&2

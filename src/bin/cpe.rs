@@ -17,9 +17,18 @@
 //!                                   run the timing model over a recorded trace
 //! cpe fuzz-trace [--cases N] [--seed S] [--config NAME]
 //!                                   replay corrupted traces; fail on any panic
-//! cpe bench [--name N] [--config NAME] [--max N] [--out FILE]
+//! cpe bench [--name N] [--config NAME] [--max N] [--out FILE] [--jobs N]
 //!                                   benchmark the simulator itself over the
 //!                                   standard workloads; write BENCH_<name>.json
+//! cpe sweep [--jobs N] [--scale S] [--max N] [--configs a,b] [--workloads x,y]
+//!           [--no-cache] [--cache-dir DIR] [--metrics-json FILE]
+//!                                   run the config × workload grid through the
+//!                                   parallel scheduler and result cache
+//! cpe cache stats|clear [--cache-dir DIR]
+//!                                   inspect or empty the result cache
+//! cpe serve (--stdin | --listen ADDR) [--no-cache] [--cache-dir DIR]
+//!           [--scale S] [--max N]
+//!                                   serve line-delimited JSON job requests
 //! cpe diff <a.json> <b.json> [--tolerance PCT]
 //!                                   compare two exported JSON documents
 //!                                   field by field; exit 1 on regression
@@ -35,6 +44,7 @@
 
 use std::process::ExitCode;
 
+use cpe::exec::{bench_parallel, ResultCache, ServeDefaults, Server, SweepPlan, DEFAULT_CACHE_DIR};
 use cpe::isa::trace_io::{write_trace, TraceReader};
 use cpe::isa::{asm::assemble, Emulator, Program};
 use cpe::stats::Table;
@@ -374,11 +384,141 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let name = parse_flag(args, "--name").unwrap_or_else(|| config.name.replace(' ', "_"));
     let max = parse_number(args, "--max")?.unwrap_or(20_000);
     let out = parse_flag(args, "--out").unwrap_or_else(|| format!("BENCH_{name}.json"));
-    let report =
-        BenchReport::run(&name, &config, max).map_err(|error| format!("bench: {error}"))?;
+    let jobs: usize = parse_number(args, "--jobs")?.unwrap_or(1);
+    let report = if jobs == 1 {
+        BenchReport::run(&name, &config, max)
+    } else {
+        bench_parallel(&name, &config, max, jobs)
+    }
+    .map_err(|error| format!("bench: {error}"))?;
     println!("{report}");
     write_file(&out, &report.to_json())?;
     println!("wrote {out}");
+    Ok(())
+}
+
+/// Split a `--configs`/`--workloads` comma list, resolving each name.
+fn parse_names<T>(
+    text: &str,
+    kind: &str,
+    resolve: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|name| !name.is_empty())
+        .map(|name| resolve(name).ok_or_else(|| format!("unknown {kind} `{name}`")))
+        .collect()
+}
+
+fn open_cache(args: &[String]) -> Option<ResultCache> {
+    if args.iter().any(|arg| arg == "--no-cache") {
+        None
+    } else {
+        let dir = parse_flag(args, "--cache-dir").unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string());
+        Some(ResultCache::new(dir))
+    }
+}
+
+fn parse_scale(args: &[String]) -> Result<Scale, String> {
+    match parse_flag(args, "--scale").as_deref() {
+        None | Some("test") => Ok(Scale::Test),
+        Some("small") => Ok(Scale::Small),
+        Some("full") => Ok(Scale::Full),
+        Some(other) => Err(format!("unknown scale `{other}` (test, small, full)")),
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let jobs: usize = parse_number(args, "--jobs")?.unwrap_or(0);
+    let scale = parse_scale(args)?;
+    let max = Some(parse_number(args, "--max")?.unwrap_or(20_000));
+    let mut plan = SweepPlan::standard(scale, max);
+    if let Some(text) = parse_flag(args, "--configs") {
+        plan.configs = parse_names(&text, "config", |name| match name {
+            "combined_single_port" => Some(SimConfig::combined_single_port()),
+            other => config_by_name(other),
+        })?;
+    }
+    if let Some(text) = parse_flag(args, "--workloads") {
+        plan.workloads = parse_names(&text, "workload", workload_by_name)?;
+    }
+    // The whole grid is validated here, before any cell is scheduled: a
+    // bad configuration is a usage error (exit 2), not N failed cells.
+    plan.validate().map_err(|error| error.to_string())?;
+    let cache = open_cache(args);
+    let results = plan
+        .run(jobs, cache.as_ref())
+        .map_err(|error| error.to_string())?;
+    println!("{}", results.ipc_table());
+    if let Some(out) = parse_flag(args, "--metrics-json") {
+        write_file(&out, &results.aggregate_json())?;
+        eprintln!("wrote sweep metrics to {out}");
+    }
+    // The cache/timing footer is observability, not output: it goes to
+    // stderr so stdout stays byte-identical across cache states.
+    eprintln!("{}", results.stats);
+    if results.stats.failed > 0 {
+        return Err(format!("{} cell(s) failed", results.stats.failed));
+    }
+    Ok(())
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let dir = parse_flag(args, "--cache-dir").unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string());
+    let cache = ResultCache::new(&dir);
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            println!("{} ({})", cache.stats(), dir);
+            Ok(())
+        }
+        Some("clear") => {
+            let removed = cache
+                .clear()
+                .map_err(|error| format!("cannot clear `{dir}`: {error}"))?;
+            println!("removed {removed} cached result(s) from {dir}");
+            Ok(())
+        }
+        _ => Err(format!(
+            "cache needs a subcommand: stats, clear\n\n{}",
+            usage()
+        )),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let stdin_mode = args.iter().any(|arg| arg == "--stdin");
+    let listen = parse_flag(args, "--listen");
+    if stdin_mode == listen.is_some() {
+        return Err(format!(
+            "serve needs exactly one of --stdin or --listen ADDR\n\n{}",
+            usage()
+        ));
+    }
+    let defaults = ServeDefaults {
+        scale: parse_scale(args)?,
+        max_insts: Some(parse_number(args, "--max")?.unwrap_or(20_000)),
+    };
+    let server = Server::new(open_cache(args), defaults);
+    if stdin_mode {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server
+            .serve_stream(stdin.lock(), stdout.lock())
+            .map_err(|error| format!("serve: {error}"))?;
+    } else {
+        let address = listen.expect("checked above");
+        let listener = std::net::TcpListener::bind(&address)
+            .map_err(|error| format!("cannot listen on `{address}`: {error}"))?;
+        eprintln!("serving on {address} (send {{\"cmd\":\"shutdown\"}} to stop)");
+        server
+            .serve_tcp(listener)
+            .map_err(|error| format!("serve: {error}"))?;
+    }
+    eprintln!(
+        "served {} job(s): {}",
+        server.jobs_served(),
+        server.stats_json()
+    );
     Ok(())
 }
 
@@ -401,6 +541,7 @@ fn cmd_diff(a_path: &str, b_path: &str, tolerance_pct: f64) -> Result<bool, Stri
     } else {
         println!("{a_path} -> {b_path}:");
         println!("{report}");
+        println!("{} diverging leaves", report.entries.len());
         Ok(false)
     }
 }
@@ -433,7 +574,12 @@ fn usage() -> &'static str {
      [--metrics-json FILE]\n  cpe compare <file.s> [--max N] [--metrics-json FILE]\n  \
      cpe record <file.s> -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  \
      cpe fuzz-trace [--cases N] [--seed S] [--config NAME]\n  \
-     cpe bench [--name N] [--config NAME] [--max N] [--out FILE]\n  \
+     cpe bench [--name N] [--config NAME] [--max N] [--out FILE] [--jobs N]\n  \
+     cpe sweep [--jobs N] [--scale test|small|full] [--max N] [--configs a,b]\n            \
+     [--workloads x,y] [--no-cache] [--cache-dir DIR] [--metrics-json FILE]\n  \
+     cpe cache stats|clear [--cache-dir DIR]\n  \
+     cpe serve (--stdin | --listen ADDR) [--no-cache] [--cache-dir DIR]\n            \
+     [--scale test|small|full] [--max N]\n  \
      cpe diff <a.json> <b.json> [--tolerance PCT]\n  cpe workloads\n  cpe configs\n  \
      cpe --version"
 }
@@ -516,8 +662,40 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
             done(cmd_fuzz_trace(parse_flag(args, "--config"), cases, seed))
         }
         Some("bench") => {
-            reject_unknown_flags(&args[1..], &["--name", "--config", "--max", "--out"], &[])?;
+            reject_unknown_flags(
+                &args[1..],
+                &["--name", "--config", "--max", "--out", "--jobs"],
+                &[],
+            )?;
             done(cmd_bench(args))
+        }
+        Some("sweep") => {
+            reject_unknown_flags(
+                &args[1..],
+                &[
+                    "--jobs",
+                    "--scale",
+                    "--max",
+                    "--configs",
+                    "--workloads",
+                    "--cache-dir",
+                    "--metrics-json",
+                ],
+                &["--no-cache"],
+            )?;
+            done(cmd_sweep(args))
+        }
+        Some("cache") => {
+            reject_unknown_flags(&args[1..], &["--cache-dir"], &[])?;
+            done(cmd_cache(&args[1..]))
+        }
+        Some("serve") => {
+            reject_unknown_flags(
+                &args[1..],
+                &["--listen", "--scale", "--max", "--cache-dir"],
+                &["--stdin", "--no-cache"],
+            )?;
+            done(cmd_serve(args))
         }
         Some("diff") if args.len() >= 3 => {
             reject_unknown_flags(&args[3..], &["--tolerance"], &[])?;

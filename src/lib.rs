@@ -16,6 +16,7 @@
 //! | [`workloads`] | `cpe-workloads` | the six applications + OS-activity injection |
 //! | [`stats`] | `cpe-stats` | counters, histograms, tables, time series |
 //! | [`trace`] | `cpe-trace` | event tracing: ring buffer, Chrome/JSONL sinks |
+//! | [`exec`] | `cpe-exec` | parallel scheduler, result cache, batch-job server |
 //! | top level | `cpe-core` | [`SimConfig`], [`Simulator`], [`Experiment`], [`RunSummary`], [`ProfiledRun`] |
 //!
 //! # Quickstart
@@ -71,4 +72,10 @@ pub mod stats {
 /// the Chrome/JSONL/null sinks. See `docs/OBSERVABILITY.md`.
 pub mod trace {
     pub use cpe_trace::*;
+}
+
+/// Execution layer: work-stealing scheduler, content-addressed result
+/// cache, and the `cpe serve` job protocol. See `docs/EXECUTION.md`.
+pub mod exec {
+    pub use cpe_exec::*;
 }

@@ -49,6 +49,9 @@ fn usage_covers_every_subcommand() {
         "cpe replay",
         "cpe fuzz-trace",
         "cpe bench",
+        "cpe sweep",
+        "cpe cache",
+        "cpe serve",
         "cpe diff",
         "cpe workloads",
         "cpe configs",
@@ -459,6 +462,7 @@ fn diff_flags_divergent_port_counts_with_exit_one() {
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("tolerance"), "{stdout}");
     assert!(stdout.contains("ports.count"), "{stdout}");
+    assert!(stdout.contains("diverging leaves"), "{stdout}");
 
     // A sky-high tolerance ignores numeric drift but still flags the
     // config-name strings, so the gate stays non-zero.
@@ -494,6 +498,148 @@ fn diff_rejects_malformed_tolerance_and_missing_files() {
         .output()
         .unwrap();
     assert_eq!(missing.status.code(), Some(2));
+}
+
+#[test]
+fn sweep_reruns_from_cache_with_byte_identical_output() {
+    let dir = tempdir().join("sweep-cache");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("cache");
+    let sweep = |jobs: &str, out: &std::path::Path| {
+        cpe()
+            .args(["sweep", "--jobs", jobs, "--max", "2000"])
+            .args(["--configs", "1-port,2-port", "--workloads", "compress,sort"])
+            .args(["--cache-dir"])
+            .arg(&cache_dir)
+            .args(["--metrics-json"])
+            .arg(out)
+            .output()
+            .unwrap()
+    };
+
+    let first_json = dir.join("sweep1.json");
+    let first = sweep("2", &first_json);
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("workload (IPC)"), "{stdout}");
+    assert!(stdout.contains("geomean"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("4 miss(es)"), "{stderr}");
+
+    // Second run at a different worker count: pure cache hits, and both
+    // stdout and the metrics document are byte-identical.
+    let second_json = dir.join("sweep2.json");
+    let second = sweep("4", &second_json);
+    assert!(second.status.success());
+    assert_eq!(first.stdout, second.stdout, "stdout must not vary");
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("hit rate 100.0%"), "{stderr}");
+    assert_eq!(
+        std::fs::read(&first_json).unwrap(),
+        std::fs::read(&second_json).unwrap(),
+        "sweep metrics must not vary"
+    );
+    let doc = std::fs::read_to_string(&first_json).unwrap();
+    assert!(doc.contains("\"kind\":\"sweep\""), "{doc}");
+    assert!(doc.contains("\"summary\""), "{doc}");
+
+    // The cache subcommands see and clear the same directory.
+    let stats = cpe()
+        .args(["cache", "stats", "--cache-dir"])
+        .arg(&cache_dir)
+        .output()
+        .unwrap();
+    assert!(stats.status.success());
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("4 entries"), "{stdout}");
+
+    let clear = cpe()
+        .args(["cache", "clear", "--cache-dir"])
+        .arg(&cache_dir)
+        .output()
+        .unwrap();
+    assert!(clear.status.success());
+    let stdout = String::from_utf8_lossy(&clear.stdout);
+    assert!(stdout.contains("removed 4"), "{stdout}");
+
+    let stats = cpe()
+        .args(["cache", "stats", "--cache-dir"])
+        .arg(&cache_dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("0 entries"), "{stdout}");
+}
+
+#[test]
+fn sweep_rejects_a_bad_grid_before_running() {
+    let output = cpe()
+        .args(["sweep", "--configs", "no-such-config", "--no-cache"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown config"), "{stderr}");
+}
+
+#[test]
+fn serve_stdin_answers_requests_and_reports_cache_status() {
+    use std::process::Stdio;
+    let mut child = cpe()
+        .args(["serve", "--stdin", "--no-cache", "--max", "2000"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"id\":1,\"workload\":\"sort\",\"config\":\"2-port\"}\n\
+              {\"id\":2,\"workload\":\"nope\"}\n\
+              {\"cmd\":\"stats\"}\n",
+        )
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains("\"id\":1"), "{}", lines[0]);
+    assert!(lines[0].contains("\"cache\":\"bypass\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"wall_ms\":"), "{}", lines[0]);
+    assert!(
+        lines[0].contains("\"result\":{\"schema\":2"),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[1].contains("unknown workload"), "{}", lines[1]);
+    assert!(lines[2].contains("\"jobs\":1"), "{}", lines[2]);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("served 1 job(s)"), "{stderr}");
+}
+
+#[test]
+fn serve_requires_exactly_one_transport() {
+    for args in [
+        vec!["serve"],
+        vec!["serve", "--stdin", "--listen", "127.0.0.1:0"],
+    ] {
+        let output = cpe().args(&args).output().unwrap();
+        assert_eq!(output.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("--stdin or --listen"), "{stderr}");
+    }
 }
 
 #[test]
