@@ -35,6 +35,13 @@ pub struct BenchEntry {
     pub wall_seconds: f64,
     /// Simulated cycles per host second.
     pub cycles_per_sec: f64,
+    /// Committed instructions per host second. Tracks the wakeup half of
+    /// the scheduler (dispatch/commit throughput), where `cycles_per_sec`
+    /// tracks the select half — a regression in one but not the other
+    /// localizes the cause.
+    pub insts_per_sec: f64,
+    /// High-water mark of the scheduler's completion-event queue.
+    pub sched_events_peak: u64,
 }
 
 /// The full benchmark report for one configuration.
@@ -52,8 +59,14 @@ pub struct BenchReport {
     pub total_wall_seconds: f64,
     /// Simulated cycles across the whole suite.
     pub total_cycles: u64,
+    /// Committed instructions across the whole suite.
+    pub total_insts: u64,
     /// Aggregate simulated cycles per host second.
     pub cycles_per_sec: f64,
+    /// Aggregate committed instructions per host second.
+    pub insts_per_sec: f64,
+    /// Largest per-workload completion-event-queue high-water mark.
+    pub sched_events_peak: u64,
     /// Peak resident set in bytes (`None` where /proc is unavailable).
     pub peak_rss_bytes: Option<u64>,
 }
@@ -79,13 +92,11 @@ impl BenchReport {
         let sim = Simulator::new(config.clone());
         let mut entries = Vec::new();
         let mut total_wall = 0.0;
-        let mut total_cycles = 0u64;
         for workload in Workload::ALL {
             let started = Instant::now();
             let summary = sim.try_run(workload, Scale::Test, Some(max_insts))?;
             let wall = started.elapsed().as_secs_f64();
             total_wall += wall;
-            total_cycles += summary.cycles;
             entries.push(BenchEntry {
                 workload: workload.name().to_string(),
                 cycles: summary.cycles,
@@ -97,22 +108,59 @@ impl BenchReport {
                 } else {
                     0.0
                 },
+                insts_per_sec: if wall > 0.0 {
+                    summary.insts as f64 / wall
+                } else {
+                    0.0
+                },
+                sched_events_peak: summary.raw.cpu.sched_events_peak.get(),
             });
         }
-        Ok(BenchReport {
+        Ok(BenchReport::assemble(
+            name,
+            &config.name,
+            max_insts,
+            entries,
+            total_wall,
+        ))
+    }
+
+    /// Fold per-workload entries into a report with suite totals.
+    pub fn assemble(
+        name: &str,
+        config: &str,
+        max_insts: u64,
+        entries: Vec<BenchEntry>,
+        total_wall: f64,
+    ) -> BenchReport {
+        let total_cycles: u64 = entries.iter().map(|e| e.cycles).sum();
+        let total_insts: u64 = entries.iter().map(|e| e.insts).sum();
+        let sched_events_peak = entries
+            .iter()
+            .map(|e| e.sched_events_peak)
+            .max()
+            .unwrap_or(0);
+        BenchReport {
             name: name.to_string(),
-            config: config.name.clone(),
+            config: config.to_string(),
             max_insts,
             entries,
             total_wall_seconds: total_wall,
             total_cycles,
+            total_insts,
             cycles_per_sec: if total_wall > 0.0 {
                 total_cycles as f64 / total_wall
             } else {
                 0.0
             },
+            insts_per_sec: if total_wall > 0.0 {
+                total_insts as f64 / total_wall
+            } else {
+                0.0
+            },
+            sched_events_peak,
             peak_rss_bytes: peak_rss_bytes(),
-        })
+        }
     }
 
     /// The report as a self-describing JSON document (the `BENCH_*.json`
@@ -124,13 +172,15 @@ impl BenchReport {
             .map(|e| {
                 format!(
                     "\"{}\":{{\"cycles\":{},\"insts\":{},\"ipc\":{},\"wall_seconds\":{},\
-                     \"cycles_per_sec\":{}}}",
+                     \"cycles_per_sec\":{},\"insts_per_sec\":{},\"sched_events_peak\":{}}}",
                     crate::json::escape(&e.workload),
                     e.cycles,
                     e.insts,
                     crate::json::num(e.ipc),
                     crate::json::num(e.wall_seconds),
-                    crate::json::num(e.cycles_per_sec)
+                    crate::json::num(e.cycles_per_sec),
+                    crate::json::num(e.insts_per_sec),
+                    e.sched_events_peak
                 )
             })
             .collect();
@@ -140,15 +190,19 @@ impl BenchReport {
         };
         format!(
             "{{\"schema\":{},\"kind\":\"bench\",\"name\":\"{}\",\"config\":\"{}\",\
-             \"max_insts\":{},\"total\":{{\"wall_seconds\":{},\"cycles\":{},\
-             \"cycles_per_sec\":{},\"peak_rss_bytes\":{}}},\"workloads\":{{{}}}}}",
+             \"max_insts\":{},\"total\":{{\"wall_seconds\":{},\"cycles\":{},\"insts\":{},\
+             \"cycles_per_sec\":{},\"insts_per_sec\":{},\"sched_events_peak\":{},\
+             \"peak_rss_bytes\":{}}},\"workloads\":{{{}}}}}",
             METRICS_SCHEMA,
             crate::json::escape(&self.name),
             crate::json::escape(&self.config),
             self.max_insts,
             crate::json::num(self.total_wall_seconds),
             self.total_cycles,
+            self.total_insts,
             crate::json::num(self.cycles_per_sec),
+            crate::json::num(self.insts_per_sec),
+            self.sched_events_peak,
             rss,
             entries.join(",")
         )
@@ -157,7 +211,9 @@ impl BenchReport {
 
 impl fmt::Display for BenchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut table = Table::new(["workload", "cycles", "insts", "IPC", "wall s", "Mcyc/s"]);
+        let mut table = Table::new([
+            "workload", "cycles", "insts", "IPC", "wall s", "Mcyc/s", "Minst/s", "evq peak",
+        ]);
         for e in &self.entries {
             table.row([
                 e.workload.clone(),
@@ -166,6 +222,8 @@ impl fmt::Display for BenchReport {
                 format!("{:.3}", e.ipc),
                 format!("{:.3}", e.wall_seconds),
                 format!("{:.2}", e.cycles_per_sec / 1.0e6),
+                format!("{:.2}", e.insts_per_sec / 1.0e6),
+                e.sched_events_peak.to_string(),
             ]);
         }
         writeln!(f, "bench `{}` on `{}`:", self.name, self.config)?;
@@ -207,6 +265,9 @@ mod tests {
         assert!(json.contains("\"compress\":{"), "{json}");
         assert!(json.contains("\"wall_seconds\":"), "{json}");
         assert!(json.contains("\"cycles_per_sec\":"), "{json}");
+        assert!(json.contains("\"insts_per_sec\":"), "{json}");
+        assert!(json.contains("\"sched_events_peak\":"), "{json}");
+        assert!(report.sched_events_peak > 0, "events queue saw traffic");
         // Self-diff at zero tolerance: the gate's base case.
         assert!(diff_json(&json, &json, 0.0).unwrap().is_clean());
     }

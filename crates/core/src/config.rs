@@ -106,6 +106,18 @@ impl SimConfig {
             .named("1-port combined")
     }
 
+    /// The large-window stress cell: the paper's combined single-port
+    /// memory system in front of a 128-entry ROB with 32-entry load and
+    /// store queues. This is where per-cycle broadcast scans hurt most,
+    /// so it doubles as the scheduler-performance benchmark cell.
+    pub fn big_window() -> SimConfig {
+        let mut config = SimConfig::combined_single_port().named("1-port combined w128");
+        config.cpu.rob_entries = 128;
+        config.cpu.load_queue = 32;
+        config.cpu.store_queue = 32;
+        config
+    }
+
     /// Rename the configuration.
     pub fn named(mut self, name: &str) -> SimConfig {
         self.name = name.to_string();
@@ -215,6 +227,7 @@ mod tests {
             SimConfig::quad_port(),
             SimConfig::ideal_ports(),
             SimConfig::combined_single_port(),
+            SimConfig::big_window(),
         ] {
             config.validate().expect("preset must be consistent");
         }

@@ -244,6 +244,7 @@ fn cpu_json(cpu: &CpuConfig) -> String {
     let disambiguation = match cpu.disambiguation {
         Disambiguation::Conservative => "conservative",
         Disambiguation::Perfect => "perfect",
+        Disambiguation::None => "none",
     };
     format!(
         "{{\"fetch_width\":{},\"dispatch_width\":{},\"issue_width\":{},\"commit_width\":{},\

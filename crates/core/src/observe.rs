@@ -287,6 +287,9 @@ impl Simulator {
         let mut core = Core::new(self.config().cpu, mem, trace);
         let handle = TraceHandle::attached(options.ring_capacity);
         core.set_trace(handle.clone());
+        // Epoch snapshots fire on multiples of the interval; bound the
+        // core's cycle-skipping so it lands on every one of them.
+        core.set_step_quantum(interval);
 
         let limit = max_insts.unwrap_or(u64::MAX);
         let mut epochs = Vec::new();

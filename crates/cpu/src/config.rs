@@ -43,6 +43,12 @@ pub enum Disambiguation {
     /// address-resolution serialisation.
     #[default]
     Perfect,
+    /// No ordering enforcement at all: loads never wait on older stores
+    /// and never forward from them — every load goes to the cache as soon
+    /// as its address is ready. An upper bound that isolates what
+    /// memory-ordering hazards cost; with the event-driven scheduler it is
+    /// simply the store-index query that always answers "go".
+    None,
 }
 
 /// One functional-unit class: how many units, their latency, and whether

@@ -46,6 +46,7 @@ mod core;
 mod fu;
 mod lsq;
 mod rob;
+mod sched;
 mod stats;
 mod watchdog;
 

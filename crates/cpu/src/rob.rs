@@ -41,6 +41,10 @@ pub struct RobEntry {
     /// Fetch-time annotation: the direction/target prediction was wrong,
     /// so fetch is blocked until this entry resolves.
     pub mispredicted: bool,
+    /// Wakeup list: sequence numbers of younger consumers to re-evaluate
+    /// when this entry's result becomes available. Maintained by the
+    /// event-driven scheduler; drained exactly once, at `ready_at`.
+    pub waiters: Vec<u64>,
 }
 
 impl RobEntry {
@@ -56,6 +60,7 @@ impl RobEntry {
             ready_at: 0,
             addr_known_at: None,
             mispredicted: false,
+            waiters: Vec::new(),
         }
     }
 

@@ -55,6 +55,13 @@ pub struct CpuStats {
     /// Longest observed run of consecutive cycles without a commit — the
     /// quantity the livelock watchdog bounds.
     pub max_commit_gap: Counter,
+    /// High-water mark of the scheduler's pending wakeup-event queue
+    /// (in-flight completions awaiting their ready cycle). A wakeup-side
+    /// capacity figure: it bounds how much completion traffic the
+    /// event-driven scheduler buffers at once. Reported by `cpe bench`;
+    /// deliberately absent from the architectural metrics exports, which
+    /// must stay bit-identical across scheduler implementations.
+    pub sched_events_peak: Counter,
     /// Distribution of ROB occupancy per cycle.
     pub rob_occupancy: Histogram,
     /// Distribution of combined load+store queue occupancy per cycle.
@@ -90,6 +97,7 @@ impl CpuStats {
             commit_store_stall_cycles: Counter::new(),
             wrong_path_blocks: Counter::new(),
             max_commit_gap: Counter::new(),
+            sched_events_peak: Counter::new(),
             rob_occupancy: Histogram::new(rob_entries),
             lsq_occupancy: Histogram::new(lsq_entries),
             commits_per_cycle: Histogram::new(commit_width),

@@ -41,7 +41,7 @@ pub use sweep::{SweepPlan, SweepResults, SweepStats};
 
 use std::time::Instant;
 
-use cpe_core::{peak_rss_bytes, BenchEntry, BenchReport, SimConfig, SimError, Simulator};
+use cpe_core::{BenchEntry, BenchReport, SimConfig, SimError, Simulator};
 use cpe_workloads::{Scale, Workload};
 
 /// Run the standard benchmark suite with the workloads spread across
@@ -79,25 +79,23 @@ pub fn bench_parallel(
             } else {
                 0.0
             },
+            insts_per_sec: if wall > 0.0 {
+                summary.insts as f64 / wall
+            } else {
+                0.0
+            },
+            sched_events_peak: summary.raw.cpu.sched_events_peak.get(),
         })
     });
     let entries = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let total_wall: f64 = entries.iter().map(|e| e.wall_seconds).sum();
-    let total_cycles: u64 = entries.iter().map(|e| e.cycles).sum();
-    Ok(BenchReport {
-        name: name.to_string(),
-        config: config.name.clone(),
+    Ok(BenchReport::assemble(
+        name,
+        &config.name,
         max_insts,
         entries,
-        total_wall_seconds: total_wall,
-        total_cycles,
-        cycles_per_sec: if total_wall > 0.0 {
-            total_cycles as f64 / total_wall
-        } else {
-            0.0
-        },
-        peak_rss_bytes: peak_rss_bytes(),
-    })
+        total_wall,
+    ))
 }
 
 #[cfg(test)]

@@ -18,9 +18,32 @@ const PAGE_BYTES: u64 = 4096;
 /// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(mem.read_u64(0x2000), 0, "untouched memory reads as zero");
 /// ```
+/// Multiplicative hasher for page numbers: the keys are small dense
+/// integers, so a single Fibonacci multiply beats the default SipHash by
+/// a wide margin on the emulator's per-access page lookup.
+#[derive(Debug, Clone, Default)]
+struct PageHasher(u64);
+
+impl std::hash::Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the page map).
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 pub struct SparseMem {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: HashMap<u64, Box<[u8]>, std::hash::BuildHasherDefault<PageHasher>>,
 }
 
 impl SparseMem {
@@ -46,17 +69,35 @@ impl SparseMem {
         page[(addr % PAGE_BYTES) as usize] = value;
     }
 
-    /// Read `N` little-endian bytes starting at `addr`.
+    /// Read `N` little-endian bytes starting at `addr`. An access within
+    /// a single page (the overwhelmingly common case) costs one page
+    /// lookup; a page-straddling access falls back to the byte loop.
     pub fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
         let mut out = [0u8; N];
+        let offset = (addr % PAGE_BYTES) as usize;
+        if offset + N <= PAGE_BYTES as usize {
+            if let Some(page) = self.pages.get(&(addr / PAGE_BYTES)) {
+                out.copy_from_slice(&page[offset..offset + N]);
+            }
+            return out;
+        }
         for (i, byte) in out.iter_mut().enumerate() {
             *byte = self.read_u8(addr + i as u64);
         }
         out
     }
 
-    /// Write bytes starting at `addr`.
+    /// Write bytes starting at `addr`, one page lookup per touched page.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let offset = (addr % PAGE_BYTES) as usize;
+        if offset + bytes.len() <= PAGE_BYTES as usize {
+            let page = self
+                .pages
+                .entry(addr / PAGE_BYTES)
+                .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice());
+            page[offset..offset + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
         for (i, &byte) in bytes.iter().enumerate() {
             self.write_u8(addr + i as u64, byte);
         }

@@ -75,6 +75,77 @@ pub enum StoreOutcome {
     Rejected,
 }
 
+/// Fixed-size per-cycle map from port-width chunk address to the cycle
+/// that chunk's data becomes ready, for load combining.
+///
+/// The map is consulted once per access per cycle, so the old linear
+/// `Vec::iter().find()` scan sat on the hot path. Only port-granted
+/// accesses insert (at most one per slot, so at most `ports.count` per
+/// cycle); a table of twice the port count therefore never fills, probes
+/// stay short, and clearing is a generation bump instead of a scan.
+/// A duplicate insert keeps the existing entry, matching the old
+/// find-first-match semantics exactly.
+#[derive(Debug, Clone)]
+struct ChunkSlotMap {
+    /// `(generation, chunk_addr, data_ready)`; a stale generation marks
+    /// the slot empty for the current cycle.
+    slots: Vec<(u64, u64, Cycle)>,
+    generation: u64,
+    mask: usize,
+}
+
+impl ChunkSlotMap {
+    fn new(ports: u32) -> ChunkSlotMap {
+        let capacity = (ports.max(1) as usize * 2).next_power_of_two();
+        ChunkSlotMap {
+            slots: vec![(0, 0, 0); capacity],
+            generation: 1,
+            mask: capacity - 1,
+        }
+    }
+
+    /// Forget every entry (start a new cycle).
+    fn clear(&mut self) {
+        self.generation += 1;
+    }
+
+    fn index(&self, chunk: u64) -> usize {
+        // Fibonacci hashing spreads the port-width-aligned addresses,
+        // whose low bits are all zero.
+        (chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// The data-ready cycle of `chunk`, when it was read this cycle.
+    fn get(&self, chunk: u64) -> Option<Cycle> {
+        let mut i = self.index(chunk);
+        loop {
+            let (generation, key, ready) = self.slots[i];
+            if generation != self.generation {
+                return None;
+            }
+            if key == chunk {
+                return Some(ready);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert(&mut self, chunk: u64, ready: Cycle) {
+        let mut i = self.index(chunk);
+        loop {
+            let (generation, key, _) = self.slots[i];
+            if generation != self.generation {
+                self.slots[i] = (self.generation, chunk, ready);
+                return;
+            }
+            if key == chunk {
+                return; // the first access this cycle stands
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
 /// The L1 data cache and its port-efficiency structures.
 #[derive(Debug, Clone)]
 pub struct DCache {
@@ -87,7 +158,7 @@ pub struct DCache {
     slots_used: u32,
     /// Chunks already read through a port this cycle, with their data-ready
     /// times, for load combining.
-    cycle_chunks: Vec<(u64, Cycle)>,
+    cycle_chunks: ChunkSlotMap,
     /// Banks already accessed this cycle (banked configurations only).
     cycle_banks: Vec<u32>,
     /// Port requests denied this cycle (no free slot or bank conflict);
@@ -125,7 +196,7 @@ impl DCache {
             ports: config.ports,
             latencies: config.latencies,
             slots_used: 0,
-            cycle_chunks: Vec::with_capacity(config.ports.count as usize),
+            cycle_chunks: ChunkSlotMap::new(config.ports.count),
             cycle_banks: Vec::with_capacity(config.ports.count as usize),
             cycle_port_rejects: 0,
             next_line_prefetch: config.next_line_prefetch,
@@ -292,7 +363,7 @@ impl DCache {
         let fits_chunk = addr.fits_in_block(bytes, width);
         let chunk = addr.align_down(width);
         if self.ports.load_combining && fits_chunk {
-            if let Some(&(_, ready)) = self.cycle_chunks.iter().find(|&&(c, _)| c == chunk.get()) {
+            if let Some(ready) = self.cycle_chunks.get(chunk.get()) {
                 stats.loads.inc();
                 stats.load_combined.inc();
                 self.trace.emit(now, EventKind::LoadCombine, addr.get(), 0);
@@ -377,7 +448,7 @@ impl DCache {
         self.trace
             .emit(now, EventKind::PortGrant, addr.get(), grant_code);
         if fits_chunk {
-            self.cycle_chunks.push((chunk.get(), at));
+            self.cycle_chunks.insert(chunk.get(), at);
         }
         // "Load-all": the data array read captures a line-buffer chunk
         // around the access. The buffer may be wider than the port (the
@@ -548,6 +619,31 @@ impl DCache {
                 Ok(())
             }
         }
+    }
+
+    /// Account `n` cycles the CPU skipped while the memory system had no
+    /// work: no access was presented, the store buffer stayed empty, and
+    /// no fill arrived. Mirrors the per-cycle accounting [`end_cycle`]
+    /// would have performed on each of those cycles (zero slots used,
+    /// zero rejects, an empty store buffer), so skipping leaves every
+    /// statistic bit-identical to stepping.
+    ///
+    /// [`end_cycle`]: DCache::end_cycle
+    pub fn record_idle_cycles(&self, n: u64, stats: &mut MemStats) {
+        stats
+            .port_slots_offered
+            .add(u64::from(self.ports.count).saturating_mul(n));
+        stats.slots_per_cycle.record_n(0, n);
+        stats.mshr_occupancy.record_n(self.mshr.len() as u64, n);
+        stats.store_buffer_occupancy.record_n(0, n);
+        stats.port_queue_depth.record_n(0, n);
+    }
+
+    /// Earliest cycle an outstanding fill arrives, if any — the bound the
+    /// CPU's cycle-skipping scheduler must not skip past, because fills
+    /// install at `begin_cycle` of exactly that cycle.
+    pub fn next_fill_at(&self) -> Option<Cycle> {
+        self.mshr.next_ready_at()
     }
 
     /// `true` when no buffered store and no outstanding miss remains —

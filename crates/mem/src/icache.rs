@@ -25,6 +25,11 @@ pub struct FetchOutcome {
 pub struct ICache {
     cache: Cache,
     pending: Option<(u64, Cycle)>,
+    /// The line the previous fetch hit, while no other line has been
+    /// probed since: sequential fetch re-probes the same block several
+    /// times in a row, and a repeat touch of the most-recently-used way
+    /// cannot change tag or LRU state, so it can short-circuit.
+    streak: Option<u64>,
 }
 
 impl ICache {
@@ -33,6 +38,7 @@ impl ICache {
         ICache {
             cache: Cache::new(geometry),
             pending: None,
+            streak: None,
         }
     }
 
@@ -45,21 +51,34 @@ impl ICache {
         stats: &mut MemStats,
     ) -> FetchOutcome {
         stats.fetches.inc();
-        // Install a completed pending fill first.
-        if let Some((line, ready)) = self.pending {
-            if now >= ready {
-                self.cache.fill(Addr::new(line), false);
-                self.pending = None;
-            }
-        }
-        if self.cache.probe(addr, false) == ProbeResult::Hit {
+        let line = self.cache.geometry().tag(addr.get());
+        // Sequential fetch fast path: a repeat hit on the line the last
+        // fetch hit (with no fill outstanding and no other probe in
+        // between) re-touches the MRU way — a no-op — so only the
+        // counters need updating.
+        if self.pending.is_none() && self.streak == Some(line) {
             stats.icache_hits.inc();
             return FetchOutcome {
                 ready_at: now,
                 hit: true,
             };
         }
-        let line = self.cache.geometry().tag(addr.get());
+        // Install a completed pending fill first.
+        if let Some((pending_line, ready)) = self.pending {
+            if now >= ready {
+                self.cache.fill(Addr::new(pending_line), false);
+                self.pending = None;
+            }
+        }
+        if self.cache.probe(addr, false) == ProbeResult::Hit {
+            stats.icache_hits.inc();
+            self.streak = (self.pending.is_none()).then_some(line);
+            return FetchOutcome {
+                ready_at: now,
+                hit: true,
+            };
+        }
+        self.streak = None;
         if let Some((pending_line, ready)) = self.pending {
             if pending_line == line {
                 // Re-request of the in-flight block (the frontend retrying).

@@ -116,6 +116,15 @@ impl MshrFile {
         done
     }
 
+    /// Earliest cycle at which any outstanding fill arrives, if one is
+    /// outstanding. The CPU's cycle-skipping scheduler uses this to bound
+    /// a skip: a fill must be installed by `begin_cycle` on exactly the
+    /// cycle it becomes ready, so residency accounting and victim
+    /// selection are unchanged by skipping.
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.ready_at).min()
+    }
+
     /// Outstanding entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -182,5 +191,18 @@ mod tests {
         assert_eq!(m.take_completed(15), vec![(0x40, false, 5)]);
         assert_eq!(m.len(), 1);
         assert_eq!(m.lookup(0x80), Some(20));
+    }
+
+    #[test]
+    fn next_ready_at_tracks_the_earliest_fill() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_ready_at(), None);
+        m.request(0, 0x40, 30, false);
+        m.request(0, 0x80, 10, false);
+        assert_eq!(m.next_ready_at(), Some(10));
+        m.take_completed(10);
+        assert_eq!(m.next_ready_at(), Some(30));
+        m.take_completed(30);
+        assert_eq!(m.next_ready_at(), None);
     }
 }

@@ -130,6 +130,20 @@ impl MemSystem {
         self.dcache.is_quiesced()
     }
 
+    /// Earliest cycle at which the hierarchy acts on its own (an
+    /// outstanding fill installing at `begin_cycle`), if any. The CPU's
+    /// cycle-skipping scheduler must resume simulation no later than this.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        self.dcache.next_fill_at()
+    }
+
+    /// Account `n` skipped cycles during which the CPU presented no
+    /// access and the store buffer was empty. Keeps the per-cycle memory
+    /// statistics bit-identical to having stepped those cycles.
+    pub fn record_idle_cycles(&mut self, n: u64) {
+        self.dcache.record_idle_cycles(n, &mut self.stats);
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats

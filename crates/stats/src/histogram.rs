@@ -55,6 +55,24 @@ impl Histogram {
         self.max_seen = self.max_seen.max(value);
     }
 
+    /// Record `n` samples of the same `value` in one update.
+    ///
+    /// Exactly equivalent to calling [`Histogram::record`] `n` times —
+    /// used by the cycle-skipping scheduler to account for a span of
+    /// identical idle cycles without touching the histogram per cycle.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.buckets.get_mut(value as usize) {
+            Some(bucket) => *bucket += n,
+            None => self.overflow += n,
+        }
+        self.sum += u128::from(value) * u128::from(n);
+        self.total += n;
+        self.max_seen = self.max_seen.max(value);
+    }
+
     /// Samples that fell exactly on `value` (0 for overflowed values).
     pub fn count(&self, value: usize) -> u64 {
         self.buckets.get(value).copied().unwrap_or(0)
@@ -210,6 +228,27 @@ mod tests {
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.total(), 7);
         assert_eq!(h.max_seen(), 5);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new(3);
+        let mut loop_ = Histogram::new(3);
+        for (value, n) in [(0u64, 5u64), (2, 3), (9, 2), (1, 0)] {
+            bulk.record_n(value, n);
+            for _ in 0..n {
+                loop_.record(value);
+            }
+        }
+        assert_eq!(bulk, loop_);
+        assert_eq!(bulk.total(), 10);
+        assert_eq!(bulk.overflow(), 2);
+        assert_eq!(bulk.max_seen(), 9);
+        // A zero-count record must not move max_seen.
+        let mut h = Histogram::new(3);
+        h.record_n(3, 0);
+        assert_eq!(h.max_seen(), 0);
+        assert_eq!(h.total(), 0);
     }
 
     #[test]

@@ -29,7 +29,11 @@ cargo test -q -p cpe-core --no-default-features --lib
 # Smoke the perf-gate loop end to end: a small bench must produce a
 # report whose self-diff is clean at zero tolerance (the simulated
 # counters are deterministic; wall-time fields are identical because the
-# file is compared with itself).
+# file is compared with itself). The fresh report is also archived
+# beside the committed BENCH_baseline.json as BENCH_latest.json
+# (gitignored) — a record for eyeballing host-performance drift against
+# the baseline, deliberately not a hard gate: wall time on a shared box
+# is too noisy to fail a build over.
 echo "== bench smoke + self-diff gate" >&2
 bench_out="$(mktemp -t cpe-bench-XXXXXX.json)"
 scratch="$(mktemp -d -t cpe-check-XXXXXX)"
@@ -38,6 +42,22 @@ cargo run --release --bin cpe -q -- bench --name check-smoke \
     --max 2000 --out "$bench_out" >/dev/null
 cargo run --release --bin cpe -q -- diff "$bench_out" "$bench_out" \
     --tolerance 0 >/dev/null
+cp "$bench_out" BENCH_latest.json
+
+# Golden-metrics gate: the event-driven scheduler must be invisible in
+# every architectural counter. GOLDEN_metrics.json pins a two-config
+# sweep (the naive 1-port floor and the 4-port high end, all default
+# workloads at 20k instructions); a fresh run must match it bit for bit
+# — `cpe diff` at zero tolerance, no drift budget at all. Any scheduler
+# or memory-model change that alters timing by even one cycle fails
+# here and must regenerate the golden file deliberately, with the diff
+# in the PR.
+echo "== golden metrics: zero-tolerance architectural diff" >&2
+cargo run --release --bin cpe -q -- sweep --configs "1-port naive,4-port" \
+    --max 20000 --no-cache --metrics-json "$scratch/golden_fresh.json" \
+    >/dev/null 2>&1
+cargo run --release --bin cpe -q -- diff GOLDEN_metrics.json \
+    "$scratch/golden_fresh.json" --tolerance 0 >/dev/null
 
 # Execution-layer gate (see docs/EXECUTION.md): a 2-worker smoke sweep,
 # then the same sweep again — the re-run must be served entirely from

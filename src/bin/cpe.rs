@@ -63,6 +63,7 @@ fn all_configs() -> Vec<SimConfig> {
         SimConfig::quad_port(),
         SimConfig::ideal_ports(),
         SimConfig::combined_single_port(),
+        SimConfig::big_window(),
     ]
 }
 
