@@ -174,10 +174,15 @@ impl ResultCache {
     ///
     /// On any I/O failure creating, writing, or renaming the entry.
     pub fn store(&self, key: &CacheKey, document: &str) -> std::io::Result<()> {
+        // Tmp names must be unique per *writer*, not just per process:
+        // two threads storing the same key from one pid would otherwise
+        // share a tmp file, and the loser's rename would fail.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = self
             .dir
-            .join(format!(".tmp-{}-{}", std::process::id(), key.hex()));
+            .join(format!(".tmp-{}-{seq}-{}", std::process::id(), key.hex()));
         {
             let mut file = std::fs::File::create(&tmp)?;
             file.write_all(document.as_bytes())?;
@@ -217,8 +222,13 @@ impl ResultCache {
         for entry in entries {
             let path = entry?.path();
             if path.extension().and_then(|e| e.to_str()) == Some("json") {
-                std::fs::remove_file(&path)?;
-                removed += 1;
+                match std::fs::remove_file(&path) {
+                    Ok(()) => removed += 1,
+                    // Another clearer (or an entry replaced mid-scan)
+                    // got there first; the entry is gone either way.
+                    Err(error) if error.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(error) => return Err(error),
+                }
             }
         }
         Ok(removed)

@@ -50,6 +50,16 @@ pub fn preset_by_name(name: &str) -> Option<SimConfig> {
         .find(|config| config.name == name)
 }
 
+/// Every configuration shippable *by name* over the fabric protocol:
+/// the sweep presets plus the CLI's extended set. Fabric leases carry a
+/// name plus a fingerprint, so this list is what a worker can resolve.
+pub fn named_config(name: &str) -> Option<SimConfig> {
+    preset_configs()
+        .into_iter()
+        .chain([SimConfig::big_window()])
+        .find(|config| config.name == name)
+}
+
 /// Look up a workload (extended suite) by name.
 pub fn workload_by_name(name: &str) -> Option<Workload> {
     Workload::EXTENDED
@@ -97,6 +107,16 @@ impl CacheStatus {
             CacheStatus::Hit => "hit",
             CacheStatus::Miss => "miss",
             CacheStatus::Bypass => "bypass",
+        }
+    }
+
+    /// Parse a protocol label (the inverse of [`CacheStatus::label`]).
+    pub fn from_label(label: &str) -> Option<CacheStatus> {
+        match label {
+            "hit" => Some(CacheStatus::Hit),
+            "miss" => Some(CacheStatus::Miss),
+            "bypass" => Some(CacheStatus::Bypass),
+            _ => None,
         }
     }
 }

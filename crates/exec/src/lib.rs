@@ -17,6 +17,11 @@
 //!   isolation and hoisted config validation.
 //! - [`sweep`]: the cached, parallel grid behind `cpe sweep`.
 //! - [`serve`]: the line-delimited JSON job protocol behind `cpe serve`.
+//! - [`protocol`], [`coordinator`], [`worker`]: the fault-tolerant
+//!   distributed sweep fabric — leases, heartbeats, retry and
+//!   reassignment — behind `cpe sweep --coordinator` / `cpe worker`.
+//! - [`chaos`]: the fault-injection harness that proves the fabric's
+//!   byte-identity promise under worker death and protocol abuse.
 //!
 //! The layer's core promise, pinned by
 //! `crates/exec/tests/parallel_matches_serial.rs`: for any worker count
@@ -24,20 +29,27 @@
 //! are **byte-identical** to the serial, uncached run's.
 
 pub mod cache;
+pub mod chaos;
+pub mod coordinator;
 pub mod job;
+pub mod protocol;
 pub mod render;
 pub mod scheduler;
 pub mod serve;
 pub mod sweep;
+pub mod worker;
 
 pub use cache::{canonical_json, fnv1a64, CacheKey, CacheStats, ResultCache, DEFAULT_CACHE_DIR};
+pub use coordinator::{Coordinator, FabricOptions, FabricReport, FabricStats};
 pub use job::{
-    execute_jobs, preset_by_name, preset_configs, run_job, scale_by_name, scale_name,
+    execute_jobs, named_config, preset_by_name, preset_configs, run_job, scale_by_name, scale_name,
     workload_by_name, CacheStatus, Job, JobOutcome,
 };
+pub use protocol::{config_fingerprint, JobSpec, FABRIC_SCHEMA};
 pub use scheduler::{effective_workers, run_work_stealing, SchedulerStats};
-pub use serve::{Reply, ServeDefaults, Server};
+pub use serve::{Reply, ServeDefaults, ServeLimits, Server};
 pub use sweep::{SweepPlan, SweepResults, SweepStats};
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};
 
 use std::time::Instant;
 

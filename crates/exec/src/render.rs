@@ -128,6 +128,66 @@ pub fn text_at<'a>(value: &'a JsonValue, path: &[&str]) -> Option<&'a str> {
     }
 }
 
+/// A string member, distinguishing "absent" from "present but not a
+/// string" — protocol parsers reject the latter.
+///
+/// # Errors
+///
+/// When the member is present with a non-string value.
+pub fn text_member<'a>(value: &'a JsonValue, key: &str) -> Result<Option<&'a str>, String> {
+    match member(value, key) {
+        None => Ok(None),
+        Some(JsonValue::Text(text)) => Ok(Some(text.as_str())),
+        Some(_) => Err(format!("`{key}` must be a string")),
+    }
+}
+
+/// A non-negative integer member (see [`text_member`]).
+///
+/// # Errors
+///
+/// When the member is present but not a non-negative integer.
+pub fn u64_member(value: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match member(value, key) {
+        None => Ok(None),
+        Some(JsonValue::Number(n)) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => {
+            Ok(Some(*n as u64))
+        }
+        Some(_) => Err(format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+/// A boolean member (see [`text_member`]).
+///
+/// # Errors
+///
+/// When the member is present but not a boolean.
+pub fn bool_member(value: &JsonValue, key: &str) -> Result<Option<bool>, String> {
+    match member(value, key) {
+        None => Ok(None),
+        Some(JsonValue::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("`{key}` must be a boolean")),
+    }
+}
+
+/// A finite number member (see [`text_member`]).
+///
+/// # Errors
+///
+/// When the member is present but not a number.
+pub fn f64_member(value: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match member(value, key) {
+        None => Ok(None),
+        Some(JsonValue::Number(n)) => Ok(Some(*n)),
+        Some(_) => Err(format!("`{key}` must be a number")),
+    }
+}
+
+/// Escape a string for embedding in a hand-built JSON frame.
+pub fn escape_text(text: &str) -> String {
+    escape(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,16 +19,18 @@
 //! TCP listener (`--listen addr:port`); see `docs/EXECUTION.md` for a
 //! worked `nc` example.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use cpe_core::{JsonValue, SimConfig};
 use cpe_workloads::Scale;
 
 use crate::cache::ResultCache;
 use crate::job::{preset_by_name, run_job, scale_by_name, workload_by_name, CacheStatus, Job};
-use crate::render::{member, parse, render};
+use crate::protocol::{LineEvent, LineReader};
+use crate::render::{bool_member, member, parse, render, text_member, u64_member};
 
 /// What one protocol line asked for.
 enum Request {
@@ -53,32 +55,6 @@ fn id_field(id: &Option<String>) -> String {
     match id {
         Some(id) => format!("\"id\":{id},"),
         None => String::new(),
-    }
-}
-
-fn text_member<'a>(request: &'a JsonValue, key: &str) -> Result<Option<&'a str>, String> {
-    match member(request, key) {
-        None => Ok(None),
-        Some(JsonValue::Text(text)) => Ok(Some(text.as_str())),
-        Some(_) => Err(format!("`{key}` must be a string")),
-    }
-}
-
-fn u64_member(request: &JsonValue, key: &str) -> Result<Option<u64>, String> {
-    match member(request, key) {
-        None => Ok(None),
-        Some(JsonValue::Number(n)) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => {
-            Ok(Some(*n as u64))
-        }
-        Some(_) => Err(format!("`{key}` must be a non-negative integer")),
-    }
-}
-
-fn bool_member(request: &JsonValue, key: &str) -> Result<Option<bool>, String> {
-    match member(request, key) {
-        None => Ok(None),
-        Some(JsonValue::Bool(b)) => Ok(Some(*b)),
-        Some(_) => Err(format!("`{key}` must be a boolean")),
     }
 }
 
@@ -202,11 +178,38 @@ impl Default for ServeDefaults {
     }
 }
 
+/// Per-connection guards: how long a silent connection may stay open
+/// and how long one request line may grow. Breaching either answers a
+/// final `{"error":…}` frame and closes the connection — a stuck or
+/// malicious client must not pin a connection thread or grow an
+/// unbounded buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLimits {
+    /// Close a connection with no complete request for this long.
+    pub idle_timeout: Duration,
+    /// Cap on one request line.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            idle_timeout: Duration::from_secs(120),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// How often blocked connection reads wake to check the shutdown flag
+/// and the idle clock.
+const POLL: Duration = Duration::from_millis(100);
+
 /// The shared server state: the cache plus lifetime counters. One
 /// instance serves any number of connections concurrently.
 pub struct Server {
     cache: Option<ResultCache>,
     defaults: ServeDefaults,
+    limits: ServeLimits,
     jobs: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -221,12 +224,19 @@ impl Server {
         Server {
             cache,
             defaults,
+            limits: ServeLimits::default(),
             jobs: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             wall_micros: AtomicU64::new(0),
         }
+    }
+
+    /// Replace the per-connection guards.
+    pub fn with_limits(mut self, limits: ServeLimits) -> Server {
+        self.limits = limits;
+        self
     }
 
     /// Jobs served so far.
@@ -337,25 +347,95 @@ impl Server {
         reader: impl BufRead,
         mut writer: impl Write,
     ) -> std::io::Result<bool> {
-        for line in reader.lines() {
-            let line = line?;
+        let mut reader = LineReader::new(reader, self.limits.max_line_bytes);
+        let never = AtomicBool::new(false);
+        self.serve_guarded(&mut reader, &mut writer, &never, None)
+    }
+
+    /// Serve request lines until EOF, a shutdown request, a guard
+    /// breach, or `stop` — the engine behind both [`Server::serve_tcp`]
+    /// connections and single-job traffic on a fabric coordinator's
+    /// listener (which supplies the already-dispatched first line).
+    ///
+    /// When `stop` is raised externally, the connection finishes the
+    /// request it is handling — in-flight jobs drain, they are not torn —
+    /// and then closes at its next poll.
+    ///
+    /// Returns `true` when this stream asked for shutdown; the *caller*
+    /// decides whether that stops a whole server or just this
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure reading requests or writing responses.
+    pub fn serve_guarded<R: Read>(
+        &self,
+        reader: &mut LineReader<R>,
+        writer: &mut impl Write,
+        stop: &AtomicBool,
+        first: Option<String>,
+    ) -> std::io::Result<bool> {
+        let answer = |line: &str, writer: &mut dyn Write| -> std::io::Result<bool> {
             if line.trim().is_empty() {
-                continue;
+                return Ok(false);
             }
-            let reply = self.handle_line(&line);
+            let reply = self.handle_line(line);
             writer.write_all(reply.line.as_bytes())?;
             writer.write_all(b"\n")?;
             writer.flush()?;
-            if reply.shutdown {
+            Ok(reply.shutdown)
+        };
+        if let Some(line) = first {
+            if answer(&line, writer)? {
                 return Ok(true);
             }
         }
-        Ok(false)
+        let mut last_activity = Instant::now();
+        loop {
+            match reader.poll_line()? {
+                LineEvent::Line(line) => {
+                    last_activity = Instant::now();
+                    if answer(&line, writer)? {
+                        return Ok(true);
+                    }
+                }
+                LineEvent::Idle => {
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(false);
+                    }
+                    if last_activity.elapsed() >= self.limits.idle_timeout {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        writeln!(
+                            writer,
+                            "{{\"error\":\"idle timeout after {:.0}s, closing\"}}",
+                            self.limits.idle_timeout.as_secs_f64()
+                        )?;
+                        writer.flush()?;
+                        return Ok(false);
+                    }
+                }
+                LineEvent::TooLong => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    writeln!(
+                        writer,
+                        "{{\"error\":\"request exceeds {} bytes, closing\"}}",
+                        self.limits.max_line_bytes
+                    )?;
+                    writer.flush()?;
+                    return Ok(false);
+                }
+                LineEvent::Eof => return Ok(false),
+            }
+        }
     }
 
     /// Accept TCP connections until one of them requests shutdown. Each
     /// connection gets its own thread; the cache and counters are
     /// shared.
+    ///
+    /// Shutdown drains: connections finish the request they are
+    /// handling (its reply is written) before closing, and the listener
+    /// waits for every connection thread.
     ///
     /// # Errors
     ///
@@ -372,24 +452,24 @@ impl Server {
                 Ok((stream, _addr)) => {
                     let stop = &stop;
                     scope.spawn(move || {
-                        if let Ok(true) = self.serve_connection(stream) {
+                        if let Ok(true) = self.serve_connection(stream, stop) {
                             stop.store(true, Ordering::Relaxed);
                         }
                     });
                 }
                 Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(std::time::Duration::from_millis(25));
+                    std::thread::sleep(Duration::from_millis(25));
                 }
                 Err(error) => return Err(error),
             }
         })
     }
 
-    fn serve_connection(&self, stream: TcpStream) -> std::io::Result<bool> {
-        stream.set_nonblocking(false)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream);
-        self.serve_stream(reader, writer)
+    fn serve_connection(&self, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<bool> {
+        stream.set_read_timeout(Some(POLL))?;
+        let mut reader = LineReader::new(stream.try_clone()?, self.limits.max_line_bytes);
+        let mut writer = BufWriter::new(stream);
+        self.serve_guarded(&mut reader, &mut writer, stop, None)
     }
 }
 
@@ -468,6 +548,65 @@ mod tests {
         let reply = server.handle_line("{\"workload\":\"sort\",\"overrides\":{\"ports\":0}}");
         assert!(reply.line.contains("\"error\":"), "{}", reply.line);
         assert_eq!(server.jobs_served(), 0, "invalid config never runs");
+    }
+
+    #[test]
+    fn oversized_request_lines_answer_an_error_and_close() {
+        let server = Server::new(None, ServeDefaults::default()).with_limits(ServeLimits {
+            max_line_bytes: 64,
+            ..ServeLimits::default()
+        });
+        let input = format!("{{\"workload\":\"{}\"}}\n", "x".repeat(200));
+        let mut output = Vec::new();
+        let shutdown = server.serve_stream(input.as_bytes(), &mut output).unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("exceeds 64 bytes"), "{text}");
+        assert_eq!(text.lines().count(), 1, "error frame, then closed");
+    }
+
+    #[test]
+    fn idle_connections_time_out_with_an_error_frame() {
+        /// A stream that never delivers a byte: every read times out.
+        struct Silent;
+        impl std::io::Read for Silent {
+            fn read(&mut self, _out: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(1));
+                Err(std::io::ErrorKind::WouldBlock.into())
+            }
+        }
+        let server = Server::new(None, ServeDefaults::default()).with_limits(ServeLimits {
+            idle_timeout: Duration::from_millis(20),
+            ..ServeLimits::default()
+        });
+        let mut reader = LineReader::new(Silent, 1024);
+        let mut output = Vec::new();
+        let never = AtomicBool::new(false);
+        let shutdown = server
+            .serve_guarded(&mut reader, &mut output, &never, None)
+            .unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("idle timeout"), "{text}");
+    }
+
+    #[test]
+    fn an_external_stop_closes_idle_connections_without_an_error() {
+        struct Silent;
+        impl std::io::Read for Silent {
+            fn read(&mut self, _out: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::ErrorKind::WouldBlock.into())
+            }
+        }
+        let server = Server::new(None, ServeDefaults::default());
+        let mut reader = LineReader::new(Silent, 1024);
+        let mut output = Vec::new();
+        let stop = AtomicBool::new(true);
+        let shutdown = server
+            .serve_guarded(&mut reader, &mut output, &stop, None)
+            .unwrap();
+        assert!(!shutdown);
+        assert!(output.is_empty(), "drained quietly, no error frame");
     }
 
     #[test]

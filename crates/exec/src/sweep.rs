@@ -99,36 +99,13 @@ impl SweepPlan {
         let started = Instant::now();
         let jobs = self.jobs();
         let (outcomes, scheduler) = execute_jobs(&jobs, workers, cache);
-        let cells: Vec<Result<JsonValue, SimError>> = outcomes
-            .iter()
-            .map(|outcome| match &outcome.document {
-                Ok(document) => {
-                    parse(document).map_err(|message| SimError::Trace { index: 0, message })
-                }
-                Err(error) => Err(error.clone()),
-            })
-            .collect();
-        let mut stats = SweepStats {
-            cells: outcomes.len(),
-            workers: scheduler.workers,
-            steals: scheduler.steals,
-            wall_seconds: started.elapsed().as_secs_f64(),
-            ..SweepStats::default()
-        };
-        for outcome in &outcomes {
-            match (&outcome.document, outcome.cache) {
-                (Err(_), _) => stats.failed += 1,
-                (Ok(_), CacheStatus::Hit) => stats.hits += 1,
-                (Ok(_), CacheStatus::Miss) => stats.misses += 1,
-                (Ok(_), CacheStatus::Bypass) => stats.bypassed += 1,
-            }
-        }
-        Ok(SweepResults {
-            plan: self.clone(),
+        Ok(SweepResults::assemble(
+            self.clone(),
             outcomes,
-            cells,
-            stats,
-        })
+            scheduler.workers,
+            scheduler.steals,
+            started.elapsed().as_secs_f64(),
+        ))
     }
 }
 
@@ -195,6 +172,56 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
+    /// Assemble results from already-executed outcomes in workload-major
+    /// grid order — the path shared by the local scheduler and the
+    /// distributed fabric, which is what makes their aggregates
+    /// byte-identical: both feed the same parse → render pipeline here.
+    ///
+    /// `outcomes` must be one per grid cell, in submission order.
+    pub fn assemble(
+        plan: SweepPlan,
+        outcomes: Vec<JobOutcome>,
+        workers: usize,
+        steals: u64,
+        wall_seconds: f64,
+    ) -> SweepResults {
+        assert_eq!(
+            outcomes.len(),
+            plan.configs.len() * plan.workloads.len(),
+            "one outcome per grid cell"
+        );
+        let cells: Vec<Result<JsonValue, SimError>> = outcomes
+            .iter()
+            .map(|outcome| match &outcome.document {
+                Ok(document) => {
+                    parse(document).map_err(|message| SimError::Trace { index: 0, message })
+                }
+                Err(error) => Err(error.clone()),
+            })
+            .collect();
+        let mut stats = SweepStats {
+            cells: outcomes.len(),
+            workers,
+            steals,
+            wall_seconds,
+            ..SweepStats::default()
+        };
+        for outcome in &outcomes {
+            match (&outcome.document, outcome.cache) {
+                (Err(_), _) => stats.failed += 1,
+                (Ok(_), CacheStatus::Hit) => stats.hits += 1,
+                (Ok(_), CacheStatus::Miss) => stats.misses += 1,
+                (Ok(_), CacheStatus::Bypass) => stats.bypassed += 1,
+            }
+        }
+        SweepResults {
+            plan,
+            outcomes,
+            cells,
+            stats,
+        }
+    }
+
     /// Every cell outcome, in workload-major grid order.
     pub fn outcomes(&self) -> &[JobOutcome] {
         &self.outcomes

@@ -1,0 +1,254 @@
+//! The fabric worker: connects to a coordinator, leases jobs, executes
+//! them through the same cached [`run_job`] path every other front end
+//! uses, heartbeats while computing, and drains gracefully on shutdown.
+//!
+//! The worker is deliberately stateless between leases: everything it
+//! knows about a job arrives in the lease frame, and everything the
+//! coordinator learns goes back as exactly one `result` or `nack`. A
+//! worker can therefore be killed at any instant — mid-compute,
+//! mid-frame, mid-handshake — and the only consequence is that its
+//! lease expires and the cell runs elsewhere.
+
+use std::io::{BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::job::run_job;
+use crate::protocol::{
+    CoordinatorFrame, LineEvent, LineReader, WorkerFrame, DEFAULT_MAX_LINE_BYTES, FABRIC_SCHEMA,
+};
+
+/// Worker-side knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Display name sent in the handshake.
+    pub name: String,
+    /// Per-line byte cap on the coordinator connection.
+    pub max_line_bytes: usize,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> WorkerOptions {
+        WorkerOptions {
+            name: format!("worker-{}", std::process::id()),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// What one worker run accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerSummary {
+    /// Leases fulfilled with a result.
+    pub jobs: u64,
+    /// Of those, served from the local cache.
+    pub hits: u64,
+    /// Leases refused with a nack.
+    pub nacks: u64,
+    /// Wall seconds connected.
+    pub wall_seconds: f64,
+}
+
+impl std::fmt::Display for WorkerSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker: {} job(s) ({} cache hit(s)), {} nack(s) in {:.2}s",
+            self.jobs, self.hits, self.nacks, self.wall_seconds
+        )
+    }
+}
+
+/// How often blocked reads and wait-sleeps wake to check `stop`.
+const POLL: Duration = Duration::from_millis(50);
+
+/// One received frame, or why there is none.
+enum Received {
+    Frame(CoordinatorFrame),
+    /// `stop` was raised while waiting.
+    Stopped,
+}
+
+fn next_frame(reader: &mut LineReader<TcpStream>, stop: &AtomicBool) -> Result<Received, String> {
+    loop {
+        match reader
+            .poll_line()
+            .map_err(|e| format!("read failed: {e}"))?
+        {
+            LineEvent::Line(line) => {
+                return CoordinatorFrame::parse(&line)
+                    .map(Received::Frame)
+                    .map_err(|e| format!("coordinator sent a bad frame: {e}"));
+            }
+            LineEvent::Idle => {
+                if stop.load(Ordering::Relaxed) {
+                    return Ok(Received::Stopped);
+                }
+            }
+            LineEvent::Eof => return Err("coordinator closed the connection".to_string()),
+            LineEvent::TooLong => return Err("coordinator frame exceeds the line cap".to_string()),
+        }
+    }
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, frame: &WorkerFrame) -> Result<(), String> {
+    writeln!(writer, "{}", frame.render())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write failed: {e}"))
+}
+
+/// Sleep `millis` in [`POLL`] slices, returning early when `stop` rises.
+fn wait(millis: u64, stop: &AtomicBool) {
+    let deadline = Instant::now() + Duration::from_millis(millis);
+    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(POLL.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+/// Connect to a coordinator at `addr` and work until drained or `stop`
+/// rises (SIGTERM, Ctrl-C). A raised `stop` drains gracefully: the
+/// leased job is finished and reported before the worker disconnects.
+///
+/// # Errors
+///
+/// A one-line diagnosis for connection failures, protocol violations,
+/// or a coordinator that vanished mid-sweep. Exhausting the *job* is
+/// never an error here — job failures become nacks and the worker keeps
+/// going.
+pub fn run_worker(
+    addr: &str,
+    cache: Option<&ResultCache>,
+    options: &WorkerOptions,
+    stop: &AtomicBool,
+) -> Result<WorkerSummary, String> {
+    let started = Instant::now();
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(POLL))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    let mut reader = LineReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone failed: {e}"))?,
+        options.max_line_bytes,
+    );
+    let mut writer = BufWriter::new(stream);
+
+    send(
+        &mut writer,
+        &WorkerFrame::Hello {
+            fabric: u64::from(FABRIC_SCHEMA),
+            worker: options.name.clone(),
+        },
+    )?;
+    let heartbeat = match next_frame(&mut reader, stop)? {
+        Received::Stopped => return Ok(WorkerSummary::default()),
+        Received::Frame(CoordinatorFrame::HelloAck {
+            fabric,
+            heartbeat_ms,
+            ..
+        }) => {
+            if fabric != u64::from(FABRIC_SCHEMA) {
+                return Err(format!(
+                    "coordinator speaks fabric protocol {fabric}, this worker speaks {FABRIC_SCHEMA}"
+                ));
+            }
+            Duration::from_millis(heartbeat_ms.max(1))
+        }
+        Received::Frame(CoordinatorFrame::Error { message }) => {
+            return Err(format!("coordinator refused the handshake: {message}"))
+        }
+        Received::Frame(other) => return Err(format!("expected hello_ack, got {other:?}")),
+    };
+
+    let mut summary = WorkerSummary::default();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        send(&mut writer, &WorkerFrame::Ready)?;
+        match next_frame(&mut reader, stop)? {
+            Received::Stopped => break,
+            Received::Frame(CoordinatorFrame::Drain) => break,
+            Received::Frame(CoordinatorFrame::Wait { millis }) => wait(millis, stop),
+            Received::Frame(CoordinatorFrame::Error { message }) => {
+                return Err(format!("coordinator closed the session: {message}"))
+            }
+            Received::Frame(CoordinatorFrame::HelloAck { .. }) => {
+                return Err("unexpected duplicate hello_ack".to_string())
+            }
+            Received::Frame(CoordinatorFrame::Lease { lease, job: spec }) => {
+                let job = match spec.resolve() {
+                    Ok(job) => job,
+                    Err(error) => {
+                        summary.nacks += 1;
+                        send(
+                            &mut writer,
+                            &WorkerFrame::Nack {
+                                lease,
+                                kind: error.kind().to_string(),
+                                message: error.to_string(),
+                            },
+                        )?;
+                        continue;
+                    }
+                };
+                // Compute on a helper thread so this one can keep
+                // heartbeating: a long cell must not look like a dead
+                // worker. Graceful drain finishes the lease — the
+                // compute is not torn — so `stop` is only re-checked
+                // at the top of the loop.
+                let (done_tx, done_rx) = mpsc::channel();
+                let outcome = std::thread::scope(|scope| -> Result<_, String> {
+                    scope.spawn(move || {
+                        let _ = done_tx.send(run_job(&job, cache));
+                    });
+                    loop {
+                        match done_rx.recv_timeout(heartbeat) {
+                            Ok(outcome) => return Ok(outcome),
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                send(&mut writer, &WorkerFrame::Heartbeat { lease })?;
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                unreachable!("compute thread always sends")
+                            }
+                        }
+                    }
+                })?;
+                match &outcome.document {
+                    Ok(document) => {
+                        summary.jobs += 1;
+                        if outcome.cache == crate::job::CacheStatus::Hit {
+                            summary.hits += 1;
+                        }
+                        send(
+                            &mut writer,
+                            &WorkerFrame::Result {
+                                lease,
+                                cache: outcome.cache.label().to_string(),
+                                wall_seconds: outcome.wall_seconds,
+                                document: document.clone(),
+                            },
+                        )?;
+                    }
+                    Err(error) => {
+                        summary.nacks += 1;
+                        send(
+                            &mut writer,
+                            &WorkerFrame::Nack {
+                                lease,
+                                kind: error.kind().to_string(),
+                                message: error.to_string(),
+                            },
+                        )?;
+                    }
+                }
+            }
+        }
+    }
+    summary.wall_seconds = started.elapsed().as_secs_f64();
+    Ok(summary)
+}

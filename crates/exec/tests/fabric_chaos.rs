@@ -1,0 +1,163 @@
+//! End-to-end chaos tests of the distributed sweep fabric, over real
+//! TCP sockets: hostile workers of every stripe against the
+//! coordinator, with the acceptance bar that the assembled sweep is
+//! byte-identical to a serial run — or, when failure is injected
+//! deliberately past the retry budget, that it surfaces as
+//! `FAILED(<kind>)` cells rather than a hang or a silently short grid.
+
+use cpe_exec::chaos::{chaos_case, run_with_behaviors, test_options, tiny_plan, Behavior};
+
+#[test]
+fn hung_worker_loses_its_lease_by_expiry_and_metrics_match() {
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let run = run_with_behaviors(&plan, test_options(), &[Behavior::Hangs, Behavior::Healthy])
+        .expect("fabric survives the hang");
+    assert_eq!(run.results.aggregate_json(), serial.aggregate_json());
+    assert_eq!(
+        run.results.ipc_table().to_csv(),
+        serial.ipc_table().to_csv()
+    );
+    assert_eq!(run.results.stats.failed, 0);
+    assert!(
+        run.stats.expired >= 1,
+        "the silent lease expired by deadline: {}",
+        run.stats
+    );
+}
+
+#[test]
+fn garbage_frames_cost_only_that_connection() {
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let run = run_with_behaviors(
+        &plan,
+        test_options(),
+        &[Behavior::Garbage, Behavior::Garbage, Behavior::Healthy],
+    )
+    .expect("fabric survives garbage");
+    assert_eq!(run.results.aggregate_json(), serial.aggregate_json());
+    assert!(
+        run.stats.protocol_errors >= 2,
+        "garbage was counted and refused: {}",
+        run.stats
+    );
+}
+
+#[test]
+fn torn_result_frames_are_discarded_and_the_cell_reruns() {
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let run = run_with_behaviors(
+        &plan,
+        test_options(),
+        &[Behavior::TornResult, Behavior::Healthy],
+    )
+    .expect("fabric survives the torn frame");
+    assert_eq!(run.results.aggregate_json(), serial.aggregate_json());
+    assert_eq!(run.results.stats.failed, 0);
+    assert!(
+        run.stats.reassigned >= 1,
+        "the torn connection's lease was requeued: {}",
+        run.stats
+    );
+}
+
+#[test]
+fn slow_workers_results_arrive_stale_but_metrics_still_match() {
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let run = run_with_behaviors(&plan, test_options(), &[Behavior::Slow, Behavior::Healthy])
+        .expect("fabric survives slowness");
+    assert_eq!(run.results.aggregate_json(), serial.aggregate_json());
+    assert_eq!(run.results.stats.failed, 0);
+}
+
+#[test]
+fn immediate_deaths_and_kills_combined_still_converge() {
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let run = run_with_behaviors(
+        &plan,
+        test_options(),
+        &[
+            Behavior::DiesImmediately,
+            Behavior::KillsMidJob,
+            Behavior::KillsMidJob,
+            Behavior::Healthy,
+        ],
+    )
+    .expect("fabric converges");
+    assert_eq!(run.results.aggregate_json(), serial.aggregate_json());
+    assert_eq!(run.results.stats.failed, 0);
+    assert!(run.stats.workers_seen >= 4);
+}
+
+#[test]
+fn single_job_requests_are_served_on_the_coordinator_listener_mid_sweep() {
+    use cpe_exec::{Coordinator, ServeDefaults, Server};
+    use std::io::{BufRead, BufReader, Write};
+    use std::sync::atomic::AtomicBool;
+
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = Server::new(None, ServeDefaults::default());
+    let coordinator = Coordinator::new(plan.jobs(), test_options());
+    let stop = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let worker_addr = addr.clone();
+        let worker_stop = &stop;
+        scope.spawn(move || {
+            let _ = cpe_exec::run_worker(
+                &worker_addr,
+                None,
+                &cpe_exec::WorkerOptions::default(),
+                worker_stop,
+            );
+        });
+        // A plain serve client on the same listener, mid-sweep: a job
+        // request is answered, and its shutdown closes only *its*
+        // connection, never the sweep.
+        let client_addr = addr.clone();
+        scope.spawn(move || {
+            let stream = std::net::TcpStream::connect(&client_addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            writeln!(
+                stream,
+                "{{\"id\":1,\"workload\":\"sort\",\"config\":\"2-port\",\"max_insts\":2000}}"
+            )
+            .expect("request");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("reply");
+            assert!(reply.contains("\"id\":1"), "{reply}");
+            assert!(reply.contains("\"result\":{"), "{reply}");
+            writeln!(stream, "{{\"cmd\":\"shutdown\"}}").expect("shutdown");
+            let mut ack = String::new();
+            reader.read_line(&mut ack).expect("ack");
+            assert!(ack.contains("\"shutdown\":true"), "{ack}");
+        });
+        coordinator.run(listener, &server).expect("sweep completes")
+    });
+
+    let results =
+        cpe_exec::SweepResults::assemble(plan, report.outcomes, 1, 0, report.stats.wall_seconds);
+    assert_eq!(
+        results.aggregate_json(),
+        serial.aggregate_json(),
+        "a serve client's shutdown must not perturb the sweep"
+    );
+    assert_eq!(server.jobs_served(), 1, "the single-job request ran");
+}
+
+#[test]
+fn seeded_fuzz_cases_hold_the_byte_identity_promise() {
+    // A handful of seeds here; `cpe fuzz-fabric --cases N` sweeps more.
+    for seed in [1, 2, 3] {
+        let run = chaos_case(seed).expect("chaos case holds");
+        assert_eq!(run.results.stats.failed, 0, "seed {seed}");
+    }
+}

@@ -82,4 +82,41 @@ cmp "$scratch/table1.txt" "$scratch/table2.txt"
 cargo run --release --bin cpe -q -- diff "$scratch/sweep1.json" \
     "$scratch/sweep2.json" --tolerance 0 >/dev/null
 
+# Fabric gate (see docs/EXECUTION.md "The sweep fabric"): the same grid
+# leased out over TCP to two local workers, with one of them SIGKILLed
+# mid-sweep. The coordinator must reassign the orphaned lease and the
+# assembled output — table and metrics document — must be byte-identical
+# to the serial run above, at zero tolerance. A couple of seeded chaos
+# casts ride along as the standing fault-injection gate.
+echo "== fabric smoke: coordinator + 2 workers, one SIGKILLed" >&2
+cpe_bin=target/release/cpe
+fabric_port=$((20000 + $$ % 20000))
+"$cpe_bin" sweep --coordinator "127.0.0.1:$fabric_port" --max 2000 \
+    --workloads compress,sort --no-cache --lease-ms 1000 --heartbeat-ms 200 \
+    --metrics-json "$scratch/fabric.json" \
+    > "$scratch/fabric_table.txt" 2> "$scratch/fabric.log" &
+coordinator_pid=$!
+sleep 0.5
+"$cpe_bin" worker --connect "127.0.0.1:$fabric_port" --no-cache \
+    --name check-victim 2>/dev/null &
+victim_pid=$!
+sleep 0.4
+kill -9 "$victim_pid" 2>/dev/null || true
+"$cpe_bin" worker --connect "127.0.0.1:$fabric_port" --no-cache \
+    --name check-survivor 2>/dev/null &
+survivor_pid=$!
+wait "$coordinator_pid" || {
+    echo "fabric sweep failed:" >&2
+    cat "$scratch/fabric.log" >&2
+    exit 1
+}
+wait "$survivor_pid" 2>/dev/null || true
+cmp "$scratch/table1.txt" "$scratch/fabric_table.txt"
+cargo run --release --bin cpe -q -- diff "$scratch/sweep1.json" \
+    "$scratch/fabric.json" --tolerance 0 >/dev/null
+
+echo "== fabric chaos: seeded fuzz cases" >&2
+cargo run --release --bin cpe -q -- fuzz-fabric --cases 2 --seed "$$" \
+    >/dev/null
+
 echo "all checks passed" >&2

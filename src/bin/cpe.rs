@@ -22,8 +22,17 @@
 //!                                   standard workloads; write BENCH_<name>.json
 //! cpe sweep [--jobs N] [--scale S] [--max N] [--configs a,b] [--workloads x,y]
 //!           [--no-cache] [--cache-dir DIR] [--metrics-json FILE]
+//!           [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]]
 //!                                   run the config × workload grid through the
-//!                                   parallel scheduler and result cache
+//!                                   parallel scheduler and result cache, or —
+//!                                   with --coordinator — lease the grid out to
+//!                                   `cpe worker` processes over TCP
+//! cpe worker --connect ADDR [--name NAME] [--no-cache] [--cache-dir DIR]
+//!                                   lease and run sweep cells from a
+//!                                   coordinator; drains cleanly on SIGTERM
+//! cpe fuzz-fabric [--cases N] [--seed S]
+//!                                   seeded chaos runs of the sweep fabric;
+//!                                   exit 1 if any diverges from serial
 //! cpe cache stats|clear [--cache-dir DIR]
 //!                                   inspect or empty the result cache
 //! cpe serve (--stdin | --listen ADDR) [--no-cache] [--cache-dir DIR]
@@ -44,7 +53,10 @@
 
 use std::process::ExitCode;
 
-use cpe::exec::{bench_parallel, ResultCache, ServeDefaults, Server, SweepPlan, DEFAULT_CACHE_DIR};
+use cpe::exec::{
+    bench_parallel, chaos, run_worker, Coordinator, FabricOptions, ResultCache, ServeDefaults,
+    Server, SweepPlan, SweepResults, WorkerOptions, DEFAULT_CACHE_DIR,
+};
 use cpe::isa::trace_io::{write_trace, TraceReader};
 use cpe::isa::{asm::assemble, Emulator, Program};
 use cpe::stats::Table;
@@ -446,10 +458,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     // The whole grid is validated here, before any cell is scheduled: a
     // bad configuration is a usage error (exit 2), not N failed cells.
     plan.validate().map_err(|error| error.to_string())?;
-    let cache = open_cache(args);
-    let results = plan
-        .run(jobs, cache.as_ref())
-        .map_err(|error| error.to_string())?;
+    let results = if let Some(address) = parse_flag(args, "--coordinator") {
+        if args.iter().any(|arg| arg == "--jobs") {
+            return Err("--jobs does not apply with --coordinator \
+                        (parallelism comes from the workers)"
+                .to_string());
+        }
+        run_fabric_sweep(args, plan, &address)?
+    } else {
+        let cache = open_cache(args);
+        plan.run(jobs, cache.as_ref())
+            .map_err(|error| error.to_string())?
+    };
     println!("{}", results.ipc_table());
     if let Some(out) = parse_flag(args, "--metrics-json") {
         write_file(&out, &results.aggregate_json())?;
@@ -462,6 +482,128 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         return Err(format!("{} cell(s) failed", results.stats.failed));
     }
     Ok(())
+}
+
+/// The distributed arm of `cpe sweep`: listen on `address`, lease the
+/// grid out to connecting `cpe worker` processes, and assemble their
+/// results through the same path the local scheduler uses — so the
+/// table and metrics document are byte-identical either way.
+fn run_fabric_sweep(
+    args: &[String],
+    plan: SweepPlan,
+    address: &str,
+) -> Result<SweepResults, String> {
+    let defaults = FabricOptions::default();
+    let options = FabricOptions {
+        lease_ttl: parse_number(args, "--lease-ms")?
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.lease_ttl),
+        heartbeat: parse_number(args, "--heartbeat-ms")?
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.heartbeat),
+        ..defaults
+    };
+    if options.lease_ttl <= options.heartbeat {
+        return Err(format!(
+            "--lease-ms ({:?}) must exceed --heartbeat-ms ({:?}), or every \
+             lease expires between heartbeats",
+            options.lease_ttl, options.heartbeat
+        ));
+    }
+    // Single-job serve requests share the coordinator's listener; the
+    // cache flags apply to those (workers own their caches locally).
+    let serve_defaults = ServeDefaults {
+        scale: plan.scale,
+        max_insts: plan.max_insts,
+    };
+    let server = Server::new(open_cache(args), serve_defaults);
+    let coordinator = Coordinator::new(plan.jobs(), options);
+    let listener = std::net::TcpListener::bind(address)
+        .map_err(|error| format!("cannot listen on `{address}`: {error}"))?;
+    eprintln!("coordinating {} cell(s) on {address} (start workers with `cpe worker --connect {address}`)",
+        plan.jobs().len());
+    let report = coordinator
+        .run(listener, &server)
+        .map_err(|error| format!("coordinator: {error}"))?;
+    eprintln!("{}", report.stats);
+    if server.jobs_served() > 0 {
+        eprintln!(
+            "also served {} single-job request(s): {}",
+            server.jobs_served(),
+            server.stats_json()
+        );
+    }
+    let workers = report.stats.workers_seen.max(1) as usize;
+    let wall = report.stats.wall_seconds;
+    Ok(SweepResults::assemble(
+        plan,
+        report.outcomes,
+        workers,
+        0,
+        wall,
+    ))
+}
+
+/// `SIGTERM`/`SIGINT` raise this flag; the worker drains its current
+/// lease and exits cleanly instead of abandoning it mid-run.
+static WORKER_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_worker_stop_handler() {
+    extern "C" fn raise_stop(_signum: i32) {
+        WORKER_STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // Store-to-an-atomic is the only thing the handler does, which is
+    // async-signal-safe; no libc crate needed for two constants.
+    unsafe {
+        signal(SIGTERM, raise_stop as *const () as usize);
+        signal(SIGINT, raise_stop as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_worker_stop_handler() {}
+
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let address = parse_flag(args, "--connect")
+        .ok_or_else(|| format!("worker needs --connect ADDR\n\n{}", usage()))?;
+    let mut options = WorkerOptions::default();
+    if let Some(name) = parse_flag(args, "--name") {
+        options.name = name;
+    }
+    let cache = open_cache(args);
+    install_worker_stop_handler();
+    let summary = run_worker(&address, cache.as_ref(), &options, &WORKER_STOP)
+        .map_err(|error| format!("worker: {error}"))?;
+    eprintln!("{summary}");
+    Ok(())
+}
+
+/// Seeded chaos runs of the fabric. `Ok(true)` means every case held the
+/// byte-identity promise (exit 0); `Ok(false)` means at least one
+/// diverged, failed, or hung short of convergence (exit 1).
+fn cmd_fuzz_fabric(cases: u64, seed: u64) -> Result<bool, String> {
+    println!("seed: {seed:#x}, {cases} case(s)");
+    let mut clean = true;
+    for case in 0..cases {
+        let case_seed = seed.wrapping_add(case);
+        match chaos::chaos_case(case_seed) {
+            Ok(run) => println!("case {case} (seed {case_seed:#x}): ok — {}", run.stats),
+            Err(diagnosis) => {
+                println!("case {case} (seed {case_seed:#x}): FAILED — {diagnosis}");
+                clean = false;
+            }
+        }
+    }
+    if clean {
+        println!("all {cases} case(s) byte-identical to serial");
+    }
+    Ok(clean)
 }
 
 fn cmd_cache(args: &[String]) -> Result<(), String> {
@@ -577,7 +719,10 @@ fn usage() -> &'static str {
      cpe fuzz-trace [--cases N] [--seed S] [--config NAME]\n  \
      cpe bench [--name N] [--config NAME] [--max N] [--out FILE] [--jobs N]\n  \
      cpe sweep [--jobs N] [--scale test|small|full] [--max N] [--configs a,b]\n            \
-     [--workloads x,y] [--no-cache] [--cache-dir DIR] [--metrics-json FILE]\n  \
+     [--workloads x,y] [--no-cache] [--cache-dir DIR] [--metrics-json FILE]\n            \
+     [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]]\n  \
+     cpe worker --connect ADDR [--name NAME] [--no-cache] [--cache-dir DIR]\n  \
+     cpe fuzz-fabric [--cases N] [--seed S]\n  \
      cpe cache stats|clear [--cache-dir DIR]\n  \
      cpe serve (--stdin | --listen ADDR) [--no-cache] [--cache-dir DIR]\n            \
      [--scale test|small|full] [--max N]\n  \
@@ -681,10 +826,31 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                     "--workloads",
                     "--cache-dir",
                     "--metrics-json",
+                    "--coordinator",
+                    "--lease-ms",
+                    "--heartbeat-ms",
                 ],
                 &["--no-cache"],
             )?;
             done(cmd_sweep(args))
+        }
+        Some("worker") => {
+            reject_unknown_flags(
+                &args[1..],
+                &["--connect", "--name", "--cache-dir"],
+                &["--no-cache"],
+            )?;
+            done(cmd_worker(args))
+        }
+        Some("fuzz-fabric") => {
+            reject_unknown_flags(&args[1..], &["--cases", "--seed"], &[])?;
+            let cases = parse_number(args, "--cases")?.unwrap_or(10);
+            let seed = parse_number(args, "--seed")?.unwrap_or(0xFAB);
+            if cmd_fuzz_fabric(cases, seed)? {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::from(1))
+            }
         }
         Some("cache") => {
             reject_unknown_flags(&args[1..], &["--cache-dir"], &[])?;
