@@ -22,6 +22,7 @@ use cpe_workloads::{Scale, Workload};
 
 use crate::coordinator::{Coordinator, FabricOptions, FabricStats};
 use crate::job::run_job;
+use crate::observe::{FabricObserver, LogSummary, WorkerReport};
 use crate::protocol::{
     CoordinatorFrame, JobSpec, LineEvent, LineReader, WorkerFrame, DEFAULT_MAX_LINE_BYTES,
     FABRIC_SCHEMA,
@@ -246,12 +247,21 @@ impl Actor {
     }
 }
 
-/// A completed chaos run: the assembled sweep plus fabric counters.
+/// A completed chaos run: the assembled sweep plus fabric counters and
+/// whatever observability the attached [`FabricObserver`] produced.
 pub struct ChaosRun {
     /// The sweep, assembled exactly as `cpe sweep --coordinator` would.
     pub results: SweepResults,
     /// The coordinator's counters.
     pub stats: FabricStats,
+    /// Per-worker fleet reports, in session order.
+    pub workers: Vec<WorkerReport>,
+    /// The `fabric` metrics document ([`FabricReport::fabric_json`]).
+    pub fabric_json: String,
+    /// The rendered Chrome trace, when tracing was on.
+    pub trace_json: Option<String>,
+    /// Event-log accounting, when a log was attached.
+    pub log: Option<LogSummary>,
 }
 
 /// Fabric timing tightened for tests: everything that is seconds in
@@ -294,13 +304,25 @@ pub fn run_with_behaviors(
     options: FabricOptions,
     behaviors: &[Behavior],
 ) -> Result<ChaosRun, String> {
+    run_with_behaviors_observed(plan, options, behaviors, FabricObserver::off())
+}
+
+/// [`run_with_behaviors`] with an attached [`FabricObserver`], so tests
+/// can assert the event log and `fabric` metrics stay consistent under
+/// fault injection — and that observing a run never changes its result.
+pub fn run_with_behaviors_observed(
+    plan: &SweepPlan,
+    options: FabricOptions,
+    behaviors: &[Behavior],
+    observer: FabricObserver,
+) -> Result<ChaosRun, String> {
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
     let addr = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?
         .to_string();
     let server = Server::new(None, ServeDefaults::default());
-    let coordinator = Coordinator::new(plan.jobs(), options);
+    let coordinator = Coordinator::with_observer(plan.jobs(), options, observer);
     let stop = AtomicBool::new(false);
     let report = std::thread::scope(|scope| {
         let handles: Vec<_> = behaviors
@@ -320,9 +342,14 @@ pub fn run_with_behaviors(
     })
     .map_err(|e| format!("coordinator: {e}"))?;
     let wall = report.stats.wall_seconds;
+    let fabric_json = report.fabric_json();
     Ok(ChaosRun {
         results: SweepResults::assemble(plan.clone(), report.outcomes, behaviors.len(), 0, wall),
         stats: report.stats,
+        workers: report.workers,
+        fabric_json,
+        trace_json: report.trace_json,
+        log: report.log,
     })
 }
 

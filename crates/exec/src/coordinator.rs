@@ -44,13 +44,16 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cpe_core::SimError;
+use cpe_stats::Log2Histogram;
 
 use crate::cache::fnv1a64;
 use crate::job::{CacheStatus, Job, JobOutcome};
+use crate::observe::{log2hist_json, FabricObserver, LogSummary, WorkerReport};
 use crate::protocol::{
-    CoordinatorFrame, JobSpec, LineEvent, LineReader, WorkerFrame, DEFAULT_HEARTBEAT,
-    DEFAULT_MAX_LINE_BYTES, FABRIC_SCHEMA,
+    CoordinatorFrame, JobSpec, LineEvent, LineReader, StatusBody, WorkerFrame, WorkerStatus,
+    DEFAULT_HEARTBEAT, DEFAULT_MAX_LINE_BYTES, FABRIC_SCHEMA,
 };
+use crate::render::escape_text;
 use crate::serve::Server;
 
 /// Fabric timing and bounds. The defaults suit interactive sweeps;
@@ -126,6 +129,10 @@ pub struct FabricStats {
     pub protocol_errors: u64,
     /// `wait` frames sent (backpressure or empty pending set).
     pub waits: u64,
+    /// Live `status` queries answered mid-sweep.
+    pub status_queries: u64,
+    /// High-water mark of simultaneously leased cells.
+    pub peak_inflight: usize,
     /// Cells that exhausted their retry or reassignment budget.
     pub failed: usize,
     /// Wall seconds from first listen to full assembly.
@@ -136,13 +143,14 @@ impl std::fmt::Display for FabricStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "fabric: {} cells in {:.2}s via {} worker session(s) — {} lease(s) granted, \
-             {} expired, {} reassigned, {} retried, {} stale result(s), \
+            "fabric: {} cells in {:.2}s via {} worker session(s) — {} lease(s) granted \
+             (peak {} in-flight), {} expired, {} reassigned, {} retried, {} stale result(s), \
              {} protocol error(s), {} wait(s), {} failed",
             self.cells,
             self.wall_seconds,
             self.workers_seen,
             self.granted,
+            self.peak_inflight,
             self.expired,
             self.reassigned,
             self.retries,
@@ -179,15 +187,42 @@ struct LeaseInfo {
     deadline: Instant,
 }
 
+/// What the coordinator remembers about every lease ever granted, kept
+/// past revocation so stale results can still land and be attributed.
+struct LeaseRecord {
+    job: usize,
+    granted_at: Instant,
+}
+
+/// Per-session fleet accounting, indexed by `session - 1`.
+struct WorkerSlot {
+    name: String,
+    connected: bool,
+    last_seen: Instant,
+    cells: u64,
+    hits: u64,
+    misses: u64,
+    bypass: u64,
+    nacks: u64,
+    wall_ms: Log2Histogram,
+}
+
 /// The coordinator's shared state: every mutation happens under one
-/// mutex, with lock scopes kept to pure bookkeeping (no I/O).
+/// mutex, with lock scopes kept to pure bookkeeping (no I/O — the
+/// [`FabricObserver`]'s event log is `try_send`, never a write).
 struct FabricState {
     cells: Vec<Cell>,
     /// Live leases only; revocation removes the entry.
     leases: HashMap<u64, LeaseInfo>,
-    /// Every lease ever granted → its cell, kept so stale results can
-    /// still land. Bounded by `granted`.
-    lease_jobs: HashMap<u64, usize>,
+    /// Every lease ever granted → its cell and grant time, kept so
+    /// stale results can still land. Bounded by `granted`.
+    lease_index: HashMap<u64, LeaseRecord>,
+    /// One slot per session ever registered.
+    workers: Vec<WorkerSlot>,
+    /// Grant → first accepted result, per cell, in milliseconds.
+    lease_latency_ms: Log2Histogram,
+    /// Worker-reported wall milliseconds per accepted cell.
+    cell_wall_ms: Log2Histogram,
     next_lease: u64,
     next_session: u64,
     done: usize,
@@ -205,7 +240,10 @@ impl FabricState {
                 })
                 .collect(),
             leases: HashMap::new(),
-            lease_jobs: HashMap::new(),
+            lease_index: HashMap::new(),
+            workers: Vec::new(),
+            lease_latency_ms: Log2Histogram::new(),
+            cell_wall_ms: Log2Histogram::new(),
             next_lease: 0,
             next_session: 0,
             done: 0,
@@ -220,10 +258,86 @@ impl FabricState {
         self.done == self.cells.len()
     }
 
-    fn register_session(&mut self) -> u64 {
+    /// The slot for `session`, when it was registered through
+    /// [`FabricState::register_session`] (unit tests grant against
+    /// unregistered session ids, which simply go unattributed).
+    fn worker_mut(&mut self, session: u64) -> Option<&mut WorkerSlot> {
+        session
+            .checked_sub(1)
+            .and_then(|index| self.workers.get_mut(index as usize))
+    }
+
+    fn touch(&mut self, session: u64, now: Instant) {
+        if let Some(slot) = self.worker_mut(session) {
+            slot.last_seen = now;
+        }
+    }
+
+    fn register_session(&mut self, worker: &str, now: Instant, obs: &FabricObserver) -> u64 {
         self.next_session += 1;
         self.stats.workers_seen += 1;
+        self.workers.push(WorkerSlot {
+            name: worker.to_string(),
+            connected: true,
+            last_seen: now,
+            cells: 0,
+            hits: 0,
+            misses: 0,
+            bypass: 0,
+            nacks: 0,
+            wall_ms: Log2Histogram::new(),
+        });
+        obs.worker_connect(self.next_session, worker);
         self.next_session
+    }
+
+    /// Mark a session's slot disconnected (its leases are revoked
+    /// separately by [`FabricState::revoke_session`]).
+    fn session_closed(&mut self, session: u64) {
+        if let Some(slot) = self.worker_mut(session) {
+            slot.connected = false;
+        }
+    }
+
+    /// A point-in-time view of the grid and the fleet for the `status`
+    /// endpoint.
+    fn snapshot(&self, now: Instant, elapsed_ms: u64) -> StatusBody {
+        let mut queued = 0u64;
+        let mut backoff = 0u64;
+        for cell in &self.cells {
+            if let Cell::Pending { not_before, .. } = cell {
+                if *not_before <= now {
+                    queued += 1;
+                } else {
+                    backoff += 1;
+                }
+            }
+        }
+        StatusBody {
+            elapsed_ms,
+            cells: self.cells.len() as u64,
+            done: (self.done - self.stats.failed) as u64,
+            failed: self.stats.failed as u64,
+            leased: self.leases.len() as u64,
+            queued,
+            backoff,
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(index, slot)| WorkerStatus {
+                    session: index as u64 + 1,
+                    worker: slot.name.clone(),
+                    connected: slot.connected,
+                    cells: slot.cells,
+                    hits: slot.hits,
+                    misses: slot.misses,
+                    bypass: slot.bypass,
+                    nacks: slot.nacks,
+                    last_seen_ms: now.saturating_duration_since(slot.last_seen).as_millis() as u64,
+                })
+                .collect(),
+        }
     }
 
     /// Answer one `ready` frame: a lease, a wait hint, or drain.
@@ -233,7 +347,9 @@ impl FabricState {
         now: Instant,
         options: &FabricOptions,
         jobs: &[Job],
+        obs: &FabricObserver,
     ) -> CoordinatorFrame {
+        self.touch(session, now);
         if self.complete() {
             return CoordinatorFrame::Drain;
         }
@@ -242,6 +358,7 @@ impl FabricState {
         };
         if self.leases.len() >= options.max_inflight {
             self.stats.waits += 1;
+            obs.wait(session, "backpressure");
             return wait;
         }
         let candidate = self.cells.iter().position(
@@ -251,6 +368,7 @@ impl FabricState {
             // Everything is leased, done, or backing off; a straggler
             // may still nack and requeue, so the worker keeps polling.
             self.stats.waits += 1;
+            obs.wait(session, "empty");
             return wait;
         };
         let Cell::Pending {
@@ -274,8 +392,24 @@ impl FabricState {
                 deadline: now + options.lease_ttl,
             },
         );
-        self.lease_jobs.insert(lease, job);
+        self.lease_index.insert(
+            lease,
+            LeaseRecord {
+                job,
+                granted_at: now,
+            },
+        );
         self.stats.granted += 1;
+        self.stats.peak_inflight = self.stats.peak_inflight.max(self.leases.len());
+        obs.lease_grant(
+            lease,
+            job,
+            session,
+            attempt,
+            reassigns,
+            &jobs[job].config.name,
+            jobs[job].workload.name(),
+        );
         CoordinatorFrame::Lease {
             lease,
             job: JobSpec::from_job(&jobs[job]),
@@ -285,48 +419,109 @@ impl FabricState {
     /// Refresh a live lease's deadline. Heartbeats for revoked or
     /// unknown leases are silently ignored — the worker will learn the
     /// lease is dead when its result is counted stale.
-    fn heartbeat(&mut self, lease: u64, now: Instant, options: &FabricOptions) {
+    fn heartbeat(
+        &mut self,
+        lease: u64,
+        session: u64,
+        now: Instant,
+        options: &FabricOptions,
+        obs: &FabricObserver,
+    ) {
+        self.touch(session, now);
         if let Some(info) = self.leases.get_mut(&lease) {
             info.deadline = now + options.lease_ttl;
+            obs.heartbeat(lease, session);
         }
     }
 
     /// Land a result. Stale results (revoked lease) still complete the
     /// cell when it is not yet done; duplicates are ignored.
-    fn result(&mut self, lease: u64, document: String, cache: CacheStatus, wall_seconds: f64) {
-        let Some(&job) = self.lease_jobs.get(&lease) else {
+    #[allow(clippy::too_many_arguments)]
+    fn result(
+        &mut self,
+        lease: u64,
+        session: u64,
+        document: String,
+        cache: CacheStatus,
+        wall_seconds: f64,
+        now: Instant,
+        obs: &FabricObserver,
+    ) {
+        let Some(record) = self.lease_index.get(&lease) else {
             self.stats.protocol_errors += 1;
+            obs.protocol_error(session, &format!("result for unknown lease {lease}"));
             return;
         };
-        if self.leases.remove(&lease).is_none() {
+        let job = record.job;
+        let granted_at = record.granted_at;
+        let stale = self.leases.remove(&lease).is_none();
+        if stale {
             self.stats.stale_results += 1;
+        } else {
+            self.lease_latency_ms
+                .record(now.saturating_duration_since(granted_at).as_millis() as u64);
         }
-        if !matches!(self.cells[job], Cell::Done { .. }) {
+        let duplicate = matches!(self.cells[job], Cell::Done { .. });
+        if !duplicate {
             self.cells[job] = Cell::Done {
                 document: Ok(document),
                 cache,
                 wall_seconds,
             };
             self.done += 1;
+            self.cell_wall_ms.record((wall_seconds * 1.0e3) as u64);
         }
+        if let Some(slot) = self.worker_mut(session) {
+            slot.last_seen = now;
+            slot.cells += 1;
+            match cache {
+                CacheStatus::Hit => slot.hits += 1,
+                CacheStatus::Miss => slot.misses += 1,
+                CacheStatus::Bypass => slot.bypass += 1,
+            }
+            slot.wall_ms.record((wall_seconds * 1.0e3) as u64);
+        }
+        obs.result(
+            lease,
+            job,
+            session,
+            cache,
+            wall_seconds * 1.0e3,
+            stale,
+            duplicate,
+        );
     }
 
     /// The worker reported the job itself failed: bounded retry with
     /// backoff, then a terminal `FAILED(<kind>)` cell.
+    #[allow(clippy::too_many_arguments)]
     fn nack(
         &mut self,
         lease: u64,
+        session: u64,
         kind: &str,
         message: &str,
         now: Instant,
         options: &FabricOptions,
+        obs: &FabricObserver,
     ) {
+        // Leases the coordinator never granted stay silent: there is no
+        // cell to act on and nothing to attribute.
+        let Some(record) = self.lease_index.get(&lease) else {
+            return;
+        };
+        let job = record.job;
+        if let Some(slot) = self.worker_mut(session) {
+            slot.last_seen = now;
+            slot.nacks += 1;
+        }
         // Only a *live* lease's nack acts on the cell: a stale nack
         // races a re-grant that may well succeed.
-        if self.leases.remove(&lease).is_none() {
+        let live = self.leases.remove(&lease).is_some();
+        obs.nack(lease, job, session, kind, !live);
+        if !live {
             return;
         }
-        let job = self.lease_jobs[&lease];
         let Cell::Leased {
             attempt, reassigns, ..
         } = self.cells[job]
@@ -335,32 +530,44 @@ impl FabricState {
         };
         let attempt = attempt + 1;
         if attempt > options.max_retries {
+            let message = format!("{message} [after {attempt} attempt(s)]");
             self.cells[job] = Cell::Done {
                 document: Err(SimError::Fabric {
                     kind: kind.to_string(),
-                    message: format!("{message} [after {attempt} attempt(s)]"),
+                    message: message.clone(),
                 }),
                 cache: CacheStatus::Bypass,
                 wall_seconds: 0.0,
             };
             self.done += 1;
             self.stats.failed += 1;
+            obs.cell_failed(job, kind, &message);
         } else {
             self.stats.retries += 1;
+            let delay = backoff(options, job, attempt);
             self.cells[job] = Cell::Pending {
                 attempt,
                 reassigns,
-                not_before: now + backoff(options, job, attempt),
+                not_before: now + delay,
             };
+            obs.retry(job, attempt, delay.as_millis() as u64);
         }
     }
 
     /// Revoke one lease (expiry or lost worker): the cell goes back to
     /// pending immediately, up to the reassignment budget.
-    fn revoke_lease(&mut self, lease: u64, now: Instant, options: &FabricOptions) {
+    fn revoke_lease(
+        &mut self,
+        lease: u64,
+        now: Instant,
+        options: &FabricOptions,
+        expired: bool,
+        obs: &FabricObserver,
+    ) {
         let Some(info) = self.leases.remove(&lease) else {
             return;
         };
+        obs.lease_revoked(lease, info.job, info.session, expired);
         match self.cells[info.job] {
             Cell::Leased {
                 lease: held,
@@ -369,19 +576,21 @@ impl FabricState {
             } if held == lease => {
                 let reassigns = reassigns + 1;
                 if reassigns > options.max_reassigns {
+                    let message = format!(
+                        "gave up after {reassigns} lease revocations \
+                         (workers kept dying or stalling)"
+                    );
                     self.cells[info.job] = Cell::Done {
                         document: Err(SimError::Fabric {
                             kind: "fabric".to_string(),
-                            message: format!(
-                                "gave up after {reassigns} lease revocations \
-                                 (workers kept dying or stalling)"
-                            ),
+                            message: message.clone(),
                         }),
                         cache: CacheStatus::Bypass,
                         wall_seconds: 0.0,
                     };
                     self.done += 1;
                     self.stats.failed += 1;
+                    obs.cell_failed(info.job, "fabric", &message);
                 } else {
                     self.stats.reassigned += 1;
                     self.cells[info.job] = Cell::Pending {
@@ -389,6 +598,7 @@ impl FabricState {
                         reassigns,
                         not_before: now,
                     };
+                    obs.reassign(info.job, reassigns);
                 }
             }
             // Cell already done, or re-leased under a newer id.
@@ -397,7 +607,13 @@ impl FabricState {
     }
 
     /// Revoke every lease a session holds (disconnect, garbage, idle).
-    fn revoke_session(&mut self, session: u64, now: Instant, options: &FabricOptions) {
+    fn revoke_session(
+        &mut self,
+        session: u64,
+        now: Instant,
+        options: &FabricOptions,
+        obs: &FabricObserver,
+    ) {
         let held: Vec<u64> = self
             .leases
             .iter()
@@ -405,12 +621,12 @@ impl FabricState {
             .map(|(&lease, _)| lease)
             .collect();
         for lease in held {
-            self.revoke_lease(lease, now, options);
+            self.revoke_lease(lease, now, options, false, obs);
         }
     }
 
     /// Revoke every lease whose deadline has passed.
-    fn expire(&mut self, now: Instant, options: &FabricOptions) {
+    fn expire(&mut self, now: Instant, options: &FabricOptions, obs: &FabricObserver) {
         let expired: Vec<u64> = self
             .leases
             .iter()
@@ -419,7 +635,7 @@ impl FabricState {
             .collect();
         for lease in expired {
             self.stats.expired += 1;
-            self.revoke_lease(lease, now, options);
+            self.revoke_lease(lease, now, options, true, obs);
         }
     }
 
@@ -449,13 +665,83 @@ impl FabricState {
     }
 }
 
-/// The assembled run: submission-order outcomes plus lifetime counters.
+/// The assembled run: submission-order outcomes, lifetime counters, and
+/// the fleet-level observability the coordinator accumulated.
 #[derive(Debug)]
 pub struct FabricReport {
     /// One outcome per grid cell, in submission order.
     pub outcomes: Vec<JobOutcome>,
     /// Lifetime counters.
     pub stats: FabricStats,
+    /// One report per worker session ever registered, in session order.
+    pub workers: Vec<WorkerReport>,
+    /// Grant → accepted-result latency per cell, in milliseconds.
+    pub lease_latency_ms: Log2Histogram,
+    /// Worker-reported wall milliseconds per accepted cell.
+    pub cell_wall_ms: Log2Histogram,
+    /// What the fabric event log accomplished, when one was attached.
+    pub log: Option<LogSummary>,
+    /// The rendered Chrome trace, when tracing was enabled.
+    pub trace_json: Option<String>,
+}
+
+impl FabricReport {
+    /// The fleet metrics document: a schema-2 JSON object under a
+    /// `fabric` key, written by `--fabric-metrics`. Deliberately a
+    /// *separate* document from the sweep's aggregate metrics, whose
+    /// bytes must stay identical to an unobserved run.
+    pub fn fabric_json(&self) -> String {
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .map(|worker| {
+                format!(
+                    "{{\"session\":{},\"worker\":\"{}\",\"connected\":{},\"cells\":{},\
+                     \"hits\":{},\"misses\":{},\"bypass\":{},\"nacks\":{},\"wall_ms\":{}}}",
+                    worker.session,
+                    escape_text(&worker.name),
+                    worker.connected,
+                    worker.cells,
+                    worker.hits,
+                    worker.misses,
+                    worker.bypass,
+                    worker.nacks,
+                    log2hist_json(&worker.wall_ms)
+                )
+            })
+            .collect();
+        let log = match &self.log {
+            Some(summary) => format!(
+                "{{\"written\":{},\"dropped\":{}}}",
+                summary.written, summary.dropped
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"schema\":2,\"kind\":\"fabric\",\"fabric\":{{\"cells\":{},\"done\":{},\
+             \"failed\":{},\"wall_seconds\":{},\"workers_seen\":{},\"granted\":{},\
+             \"expired\":{},\"reassigned\":{},\"retries\":{},\"stale_results\":{},\
+             \"protocol_errors\":{},\"waits\":{},\"status_queries\":{},\"peak_inflight\":{},\
+             \"lease_latency_ms\":{},\"cell_wall_ms\":{},\"log\":{log},\"workers\":[{}]}}}}",
+            self.stats.cells,
+            self.stats.cells - self.stats.failed,
+            self.stats.failed,
+            self.stats.wall_seconds,
+            self.stats.workers_seen,
+            self.stats.granted,
+            self.stats.expired,
+            self.stats.reassigned,
+            self.stats.retries,
+            self.stats.stale_results,
+            self.stats.protocol_errors,
+            self.stats.waits,
+            self.stats.status_queries,
+            self.stats.peak_inflight,
+            log2hist_json(&self.lease_latency_ms),
+            log2hist_json(&self.cell_wall_ms),
+            workers.join(",")
+        )
+    }
 }
 
 /// A coordinator for one grid of jobs.
@@ -463,6 +749,7 @@ pub struct Coordinator {
     jobs: Vec<Job>,
     options: FabricOptions,
     state: Mutex<FabricState>,
+    observer: FabricObserver,
 }
 
 /// How often blocked socket reads wake to check deadlines and
@@ -470,13 +757,25 @@ pub struct Coordinator {
 const POLL: Duration = Duration::from_millis(50);
 
 impl Coordinator {
-    /// A coordinator that will shard `jobs` across connecting workers.
+    /// A coordinator that will shard `jobs` across connecting workers,
+    /// with every observability channel off.
     pub fn new(jobs: Vec<Job>, options: FabricOptions) -> Coordinator {
+        Coordinator::with_observer(jobs, options, FabricObserver::off())
+    }
+
+    /// A coordinator reporting through `observer` (event log, Chrome
+    /// trace, live progress — whatever channels it has enabled).
+    pub fn with_observer(
+        jobs: Vec<Job>,
+        options: FabricOptions,
+        observer: FabricObserver,
+    ) -> Coordinator {
         let state = Mutex::new(FabricState::new(jobs.len(), Instant::now()));
         Coordinator {
             jobs,
             options,
             state,
+            observer,
         }
     }
 
@@ -499,13 +798,14 @@ impl Coordinator {
     /// connection's leases and never fail the run.
     pub fn run(&self, listener: TcpListener, server: &Server) -> std::io::Result<FabricReport> {
         let started = Instant::now();
+        self.observer.sweep_start(self.jobs.len());
         listener.set_nonblocking(true)?;
         let complete = AtomicBool::new(false);
         std::thread::scope(|scope| -> std::io::Result<()> {
             loop {
                 {
                     let mut state = self.locked();
-                    state.expire(Instant::now(), &self.options);
+                    state.expire(Instant::now(), &self.options, &self.observer);
                     if state.complete() {
                         complete.store(true, Ordering::Relaxed);
                         return Ok(());
@@ -530,9 +830,40 @@ impl Coordinator {
         })?;
         let mut state = self.locked();
         state.stats.wall_seconds = started.elapsed().as_secs_f64();
-        let drained = std::mem::replace(&mut *state, FabricState::new(0, Instant::now()));
+        let mut drained = std::mem::replace(&mut *state, FabricState::new(0, Instant::now()));
+        drop(state);
+        let workers: Vec<WorkerReport> = drained
+            .workers
+            .drain(..)
+            .enumerate()
+            .map(|(index, slot)| WorkerReport {
+                session: index as u64 + 1,
+                name: slot.name,
+                connected: slot.connected,
+                cells: slot.cells,
+                hits: slot.hits,
+                misses: slot.misses,
+                bypass: slot.bypass,
+                nacks: slot.nacks,
+                wall_ms: slot.wall_ms,
+            })
+            .collect();
+        let lease_latency_ms =
+            std::mem::replace(&mut drained.lease_latency_ms, Log2Histogram::new());
+        let cell_wall_ms = std::mem::replace(&mut drained.cell_wall_ms, Log2Histogram::new());
         let (outcomes, stats) = drained.into_outcomes();
-        Ok(FabricReport { outcomes, stats })
+        self.observer
+            .sweep_done(stats.cells - stats.failed, stats.failed);
+        let (log, trace_json) = self.observer.finish();
+        Ok(FabricReport {
+            outcomes,
+            stats,
+            workers,
+            lease_latency_ms,
+            cell_wall_ms,
+            log,
+            trace_json,
+        })
     }
 
     /// Dispatch one connection by its first line: a fabric `hello`
@@ -568,14 +899,39 @@ impl Coordinator {
             Ok(WorkerFrame::Hello { fabric, worker }) => {
                 self.worker_session(&mut reader, &mut writer, fabric, &worker, complete)
             }
+            Ok(WorkerFrame::Status { fabric }) => self.answer_status(&mut writer, fabric),
             _ => server
                 .serve_guarded(&mut reader, &mut writer, complete, Some(first))
                 .map(|_| ()),
         }
     }
 
+    /// Answer one live status query, then close the connection.
+    fn answer_status(&self, writer: &mut impl Write, fabric: u64) -> std::io::Result<()> {
+        if fabric != u64::from(FABRIC_SCHEMA) {
+            return self.refuse(
+                writer,
+                &format!(
+                    "fabric protocol {fabric} unsupported \
+                     (this coordinator speaks {FABRIC_SCHEMA})"
+                ),
+            );
+        }
+        let body = {
+            let mut state = self.locked();
+            state.stats.status_queries += 1;
+            state.snapshot(Instant::now(), self.observer.elapsed_ms())
+        };
+        self.observer.status_query();
+        writeln!(writer, "{}", CoordinatorFrame::Status(body).render())?;
+        writer.flush()
+    }
+
     fn refuse(&self, writer: &mut impl Write, message: &str) -> std::io::Result<()> {
         self.locked().stats.protocol_errors += 1;
+        // Connection-level refusals have no registered session; 0 marks
+        // them in the event log.
+        self.observer.protocol_error(0, message);
         let frame = CoordinatorFrame::Error {
             message: message.to_string(),
         };
@@ -590,7 +946,7 @@ impl Coordinator {
         reader: &mut LineReader<TcpStream>,
         writer: &mut BufWriter<TcpStream>,
         fabric: u64,
-        _worker: &str,
+        worker: &str,
         complete: &AtomicBool,
     ) -> std::io::Result<()> {
         if fabric != u64::from(FABRIC_SCHEMA) {
@@ -599,7 +955,9 @@ impl Coordinator {
                 &format!("fabric protocol {fabric} unsupported (this coordinator speaks {FABRIC_SCHEMA})"),
             );
         }
-        let session = self.locked().register_session();
+        let session = self
+            .locked()
+            .register_session(worker, Instant::now(), &self.observer);
         let ack = CoordinatorFrame::HelloAck {
             fabric: u64::from(FABRIC_SCHEMA),
             session,
@@ -609,8 +967,12 @@ impl Coordinator {
         writer.flush()?;
         let outcome = self.worker_loop(reader, writer, session, complete);
         // Whatever ended the session, its leases go back to the pool.
-        self.locked()
-            .revoke_session(session, Instant::now(), &self.options);
+        {
+            let mut state = self.locked();
+            state.revoke_session(session, Instant::now(), &self.options, &self.observer);
+            state.session_closed(session);
+        }
+        self.observer.worker_disconnect(session, worker);
         outcome
     }
 
@@ -639,6 +1001,7 @@ impl Coordinator {
                                 Instant::now(),
                                 &self.options,
                                 &self.jobs,
+                                &self.observer,
                             );
                             let drain = matches!(reply, CoordinatorFrame::Drain);
                             writeln!(writer, "{}", reply.render())?;
@@ -648,8 +1011,13 @@ impl Coordinator {
                             }
                         }
                         WorkerFrame::Heartbeat { lease } => {
-                            self.locked()
-                                .heartbeat(lease, Instant::now(), &self.options);
+                            self.locked().heartbeat(
+                                lease,
+                                session,
+                                Instant::now(),
+                                &self.options,
+                                &self.observer,
+                            );
                         }
                         WorkerFrame::Result {
                             lease,
@@ -659,7 +1027,15 @@ impl Coordinator {
                         } => {
                             let cache =
                                 CacheStatus::from_label(&cache).unwrap_or(CacheStatus::Bypass);
-                            self.locked().result(lease, document, cache, wall_seconds);
+                            self.locked().result(
+                                lease,
+                                session,
+                                document,
+                                cache,
+                                wall_seconds,
+                                Instant::now(),
+                                &self.observer,
+                            );
                         }
                         WorkerFrame::Nack {
                             lease,
@@ -668,14 +1044,19 @@ impl Coordinator {
                         } => {
                             self.locked().nack(
                                 lease,
+                                session,
                                 &kind,
                                 &message,
                                 Instant::now(),
                                 &self.options,
+                                &self.observer,
                             );
                         }
                         WorkerFrame::Hello { .. } => {
                             return self.refuse(writer, "duplicate hello");
+                        }
+                        WorkerFrame::Status { .. } => {
+                            return self.refuse(writer, "status on a worker session");
                         }
                     }
                 }
@@ -738,21 +1119,47 @@ mod tests {
     fn grants_respect_the_inflight_bound_and_drain_when_done() {
         let jobs = jobs(3);
         let options = options();
+        let obs = FabricObserver::off();
         let now = Instant::now();
         let mut state = FabricState::new(jobs.len(), now);
-        let a = state.grant(1, now, &options, &jobs);
-        let b = state.grant(1, now, &options, &jobs);
+        let a = state.grant(1, now, &options, &jobs, &obs);
+        let b = state.grant(1, now, &options, &jobs, &obs);
         // max_inflight = 2: the third ready gets backpressure.
-        let c = state.grant(2, now, &options, &jobs);
+        let c = state.grant(2, now, &options, &jobs, &obs);
         assert!(matches!(c, CoordinatorFrame::Wait { .. }), "{c:?}");
         assert_eq!(state.stats.waits, 1);
-        state.result(lease_id(&a), "{\"a\":1}".into(), CacheStatus::Miss, 0.1);
-        state.result(lease_id(&b), "{\"b\":1}".into(), CacheStatus::Miss, 0.1);
-        let c = state.grant(2, now, &options, &jobs);
-        state.result(lease_id(&c), "{\"c\":1}".into(), CacheStatus::Hit, 0.0);
+        assert_eq!(state.stats.peak_inflight, 2);
+        state.result(
+            lease_id(&a),
+            1,
+            "{\"a\":1}".into(),
+            CacheStatus::Miss,
+            0.1,
+            now,
+            &obs,
+        );
+        state.result(
+            lease_id(&b),
+            1,
+            "{\"b\":1}".into(),
+            CacheStatus::Miss,
+            0.1,
+            now,
+            &obs,
+        );
+        let c = state.grant(2, now, &options, &jobs, &obs);
+        state.result(
+            lease_id(&c),
+            2,
+            "{\"c\":1}".into(),
+            CacheStatus::Hit,
+            0.0,
+            now,
+            &obs,
+        );
         assert!(state.complete());
         assert!(matches!(
-            state.grant(1, now, &options, &jobs),
+            state.grant(1, now, &options, &jobs, &obs),
             CoordinatorFrame::Drain
         ));
         let (outcomes, stats) = state.into_outcomes();
@@ -767,18 +1174,19 @@ mod tests {
     fn expired_leases_are_reassigned_and_budget_exhaustion_fails_the_cell() {
         let jobs = jobs(1);
         let options = options();
+        let obs = FabricObserver::off();
         let mut now = Instant::now();
         let mut state = FabricState::new(jobs.len(), now);
         for round in 0..3 {
-            let lease = lease_id(&state.grant(1, now, &options, &jobs));
+            let lease = lease_id(&state.grant(1, now, &options, &jobs, &obs));
             // Heartbeat keeps it alive across one deadline...
             now += options.lease_ttl / 2;
-            state.heartbeat(lease, now, &options);
-            state.expire(now, &options);
+            state.heartbeat(lease, 1, now, &options, &obs);
+            state.expire(now, &options, &obs);
             assert_eq!(state.leases.len(), 1, "round {round} heartbeat kept it");
             // ...but silence past the refreshed deadline revokes it.
             now += options.lease_ttl + Duration::from_millis(1);
-            state.expire(now, &options);
+            state.expire(now, &options, &obs);
             assert!(state.leases.is_empty(), "round {round} revoked");
         }
         // max_reassigns = 2: the third revocation exhausts the budget.
@@ -795,20 +1203,21 @@ mod tests {
     fn nacks_retry_with_backoff_then_fail_with_the_remote_kind() {
         let jobs = jobs(1);
         let options = options();
+        let obs = FabricObserver::off();
         let now = Instant::now();
         let mut state = FabricState::new(jobs.len(), now);
-        let lease = lease_id(&state.grant(1, now, &options, &jobs));
-        state.nack(lease, "watchdog", "no commit", now, &options);
+        let lease = lease_id(&state.grant(1, now, &options, &jobs, &obs));
+        state.nack(lease, 1, "watchdog", "no commit", now, &options, &obs);
         assert_eq!(state.stats.retries, 1);
         // The retry backs off: an immediate ready sees wait, not a lease.
         assert!(matches!(
-            state.grant(1, now, &options, &jobs),
+            state.grant(1, now, &options, &jobs, &obs),
             CoordinatorFrame::Wait { .. }
         ));
         let later = now + backoff(&options, 0, 1) + Duration::from_millis(1);
-        let lease = lease_id(&state.grant(1, later, &options, &jobs));
+        let lease = lease_id(&state.grant(1, later, &options, &jobs, &obs));
         // max_retries = 1: the second nack is terminal, kind preserved.
-        state.nack(lease, "watchdog", "no commit", later, &options);
+        state.nack(lease, 1, "watchdog", "no commit", later, &options, &obs);
         assert!(state.complete());
         let (outcomes, _) = state.into_outcomes();
         let error = outcomes[0].document.as_ref().unwrap_err();
@@ -820,25 +1229,86 @@ mod tests {
     fn worker_loss_revokes_all_its_leases_and_stale_results_still_land() {
         let jobs = jobs(2);
         let options = options();
+        let obs = FabricObserver::off();
         let now = Instant::now();
         let mut state = FabricState::new(jobs.len(), now);
-        let a = lease_id(&state.grant(7, now, &options, &jobs));
-        let b = lease_id(&state.grant(7, now, &options, &jobs));
-        state.revoke_session(7, now, &options);
+        let a = lease_id(&state.grant(7, now, &options, &jobs, &obs));
+        let b = lease_id(&state.grant(7, now, &options, &jobs, &obs));
+        state.revoke_session(7, now, &options, &obs);
         assert_eq!(state.stats.reassigned, 2);
         assert!(state.leases.is_empty());
         // The "dead" worker was merely slow: its results still count.
-        state.result(a, "{\"late\":1}".into(), CacheStatus::Miss, 0.5);
+        state.result(
+            a,
+            7,
+            "{\"late\":1}".into(),
+            CacheStatus::Miss,
+            0.5,
+            now,
+            &obs,
+        );
         assert_eq!(state.stats.stale_results, 1);
         assert_eq!(state.done, 1);
         // The second cell was re-granted and completed elsewhere first;
         // the stale duplicate is ignored.
-        let b2 = lease_id(&state.grant(8, now, &options, &jobs));
-        state.result(b2, "{\"fresh\":1}".into(), CacheStatus::Miss, 0.1);
-        state.result(b, "{\"late\":2}".into(), CacheStatus::Miss, 0.9);
+        let b2 = lease_id(&state.grant(8, now, &options, &jobs, &obs));
+        state.result(
+            b2,
+            8,
+            "{\"fresh\":1}".into(),
+            CacheStatus::Miss,
+            0.1,
+            now,
+            &obs,
+        );
+        state.result(
+            b,
+            7,
+            "{\"late\":2}".into(),
+            CacheStatus::Miss,
+            0.9,
+            now,
+            &obs,
+        );
         assert!(state.complete());
         let (outcomes, _) = state.into_outcomes();
         assert_eq!(outcomes[1].document.as_deref().unwrap(), "{\"fresh\":1}");
+    }
+
+    #[test]
+    fn snapshots_report_the_grid_and_the_fleet() {
+        let jobs = jobs(4);
+        let options = options();
+        let obs = FabricObserver::off();
+        let now = Instant::now();
+        let mut state = FabricState::new(jobs.len(), now);
+        let w1 = state.register_session("alpha", now, &obs);
+        let w2 = state.register_session("beta", now, &obs);
+        assert_eq!((w1, w2), (1, 2));
+        let a = lease_id(&state.grant(w1, now, &options, &jobs, &obs));
+        let _b = lease_id(&state.grant(w2, now, &options, &jobs, &obs));
+        state.result(a, w1, "{\"a\":1}".into(), CacheStatus::Hit, 0.2, now, &obs);
+        // A nack sends one cell into backoff.
+        let c = lease_id(&state.grant(w2, now, &options, &jobs, &obs));
+        state.nack(c, w2, "watchdog", "no commit", now, &options, &obs);
+        state.session_closed(w2);
+        let later = now + Duration::from_millis(7);
+        let body = state.snapshot(later, 123);
+        assert_eq!(body.elapsed_ms, 123);
+        assert_eq!(body.cells, 4);
+        assert_eq!(body.done, 1);
+        assert_eq!(body.failed, 0);
+        assert_eq!(body.leased, 1);
+        assert_eq!(body.queued, 1, "the never-touched cell");
+        assert_eq!(body.backoff, 1, "the nacked cell waits out its backoff");
+        assert_eq!(body.workers.len(), 2);
+        assert_eq!(body.workers[0].worker, "alpha");
+        assert!(body.workers[0].connected);
+        assert_eq!(body.workers[0].cells, 1);
+        assert_eq!(body.workers[0].hits, 1);
+        assert!(!body.workers[1].connected);
+        assert_eq!(body.workers[1].nacks, 1);
+        assert!(body.workers[1].last_seen_ms >= 7);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use cpe_core::{profile_json, ProfileOptions, SimConfig, SimError, Simulator};
 use cpe_workloads::{Scale, Workload};
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::observe::SweepProgress;
 use crate::scheduler::{run_work_stealing, SchedulerStats};
 
 /// The stable name of a [`Scale`], used in cache keys and the job
@@ -205,6 +206,18 @@ pub fn execute_jobs(
     workers: usize,
     cache: Option<&ResultCache>,
 ) -> (Vec<JobOutcome>, SchedulerStats) {
+    execute_jobs_observed(jobs, workers, cache, None)
+}
+
+/// [`execute_jobs`] with an optional live progress line, fed from the
+/// worker threads as cells finish (completion order, not submission
+/// order — progress is observability, not output).
+pub fn execute_jobs_observed(
+    jobs: &[Job],
+    workers: usize,
+    cache: Option<&ResultCache>,
+    progress: Option<&SweepProgress>,
+) -> (Vec<JobOutcome>, SchedulerStats) {
     // One validation per distinct config, not one per cell.
     let mut seen: Vec<(&SimConfig, Option<SimError>)> = Vec::new();
     let prechecked: Vec<Option<SimError>> = jobs
@@ -223,20 +236,31 @@ pub fn execute_jobs(
     let runnable: Vec<usize> = (0..jobs.len())
         .filter(|&index| prechecked[index].is_none())
         .collect();
-    let (ran, stats) = run_work_stealing(&runnable, workers, |_, &job_index| JobOutcome {
-        index: job_index,
-        ..run_job(&jobs[job_index], cache)
+    let (ran, stats) = run_work_stealing(&runnable, workers, |_, &job_index| {
+        let outcome = JobOutcome {
+            index: job_index,
+            ..run_job(&jobs[job_index], cache)
+        };
+        if let Some(progress) = progress {
+            progress.cell_done(outcome.cache, outcome.document.is_err());
+        }
+        outcome
     });
 
     let mut outcomes: Vec<Option<JobOutcome>> = prechecked
         .into_iter()
         .enumerate()
         .map(|(index, verdict)| {
-            verdict.map(|error| JobOutcome {
-                index,
-                document: Err(error),
-                cache: CacheStatus::Bypass,
-                wall_seconds: 0.0,
+            verdict.map(|error| {
+                if let Some(progress) = progress {
+                    progress.cell_done(CacheStatus::Bypass, true);
+                }
+                JobOutcome {
+                    index,
+                    document: Err(error),
+                    cache: CacheStatus::Bypass,
+                    wall_seconds: 0.0,
+                }
             })
         })
         .collect();

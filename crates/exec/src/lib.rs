@@ -20,6 +20,9 @@
 //! - [`protocol`], [`coordinator`], [`worker`]: the fault-tolerant
 //!   distributed sweep fabric — leases, heartbeats, retry and
 //!   reassignment — behind `cpe sweep --coordinator` / `cpe worker`.
+//! - [`observe`]: fleet observability for that fabric — the bounded
+//!   JSONL event log, Chrome trace export, live progress line, and the
+//!   `cpe status` client. Stderr/side-file only, never the results.
 //! - [`chaos`]: the fault-injection harness that proves the fabric's
 //!   byte-identity promise under worker death and protocol abuse.
 //!
@@ -32,6 +35,7 @@ pub mod cache;
 pub mod chaos;
 pub mod coordinator;
 pub mod job;
+pub mod observe;
 pub mod protocol;
 pub mod render;
 pub mod scheduler;
@@ -45,7 +49,11 @@ pub use job::{
     execute_jobs, named_config, preset_by_name, preset_configs, run_job, scale_by_name, scale_name,
     workload_by_name, CacheStatus, Job, JobOutcome,
 };
-pub use protocol::{config_fingerprint, JobSpec, FABRIC_SCHEMA};
+pub use observe::{
+    query_status, EventLog, FabricObserver, LogSummary, SharedBuffer, SweepProgress, WorkerReport,
+    DEFAULT_EVENT_CAPACITY,
+};
+pub use protocol::{config_fingerprint, JobSpec, StatusBody, WorkerStatus, FABRIC_SCHEMA};
 pub use scheduler::{effective_workers, run_work_stealing, SchedulerStats};
 pub use serve::{Reply, ServeDefaults, ServeLimits, Server};
 pub use sweep::{SweepPlan, SweepResults, SweepStats};

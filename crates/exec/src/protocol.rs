@@ -28,6 +28,15 @@
 //! {"type":"error","message":"…"}                   protocol violation; closing
 //! ```
 //!
+//! Observer → coordinator (the `cpe status` endpoint — a one-shot
+//! connection, answered mid-sweep and then closed):
+//!
+//! ```text
+//! {"fabric":1,"type":"status"}                     query live fleet status
+//! {"type":"status","elapsed_ms":1234,"cells":16,"done":9,"failed":0,
+//!  "leased":4,"queued":3,"backoff":0,"workers":[{"session":1,…}]}
+//! ```
+//!
 //! The module also supplies [`LineReader`], the guarded line reader
 //! every socket in the suite uses: it enforces a maximum line length
 //! (a frame that never ends must not grow an unbounded buffer) and
@@ -42,7 +51,9 @@ use cpe_core::{config_json, JsonValue, SimError};
 
 use crate::cache::{canonical_json, fnv1a64};
 use crate::job::{named_config, scale_by_name, scale_name, workload_by_name, Job};
-use crate::render::{escape_text, f64_member, member, parse, render, text_member, u64_member};
+use crate::render::{
+    bool_member, escape_text, f64_member, member, parse, render, text_member, u64_member,
+};
 
 /// Version of the fabric protocol itself; checked in both handshake
 /// directions.
@@ -294,6 +305,13 @@ pub enum WorkerFrame {
         /// The failure message.
         message: String,
     },
+    /// A live-status query (sent by `cpe status`, not by workers). Like
+    /// `hello`, it carries the protocol version so a skewed observer is
+    /// refused instead of misreading the reply.
+    Status {
+        /// The observer's [`FABRIC_SCHEMA`].
+        fabric: u64,
+    },
 }
 
 impl WorkerFrame {
@@ -328,6 +346,9 @@ impl WorkerFrame {
                 escape_text(kind),
                 escape_text(message)
             ),
+            WorkerFrame::Status { fabric } => {
+                format!("{{\"fabric\":{fabric},\"type\":\"status\"}}")
+            }
         }
     }
 
@@ -371,8 +392,135 @@ impl WorkerFrame {
                 kind: text_member(&value, "kind")?.unwrap_or("fabric").to_string(),
                 message: text_member(&value, "error")?.unwrap_or("").to_string(),
             }),
+            "status" => Ok(WorkerFrame::Status {
+                fabric: u64_member(&value, "fabric")?.unwrap_or(0),
+            }),
             other => Err(format!("unknown worker frame type `{other}`")),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live status
+// ---------------------------------------------------------------------------
+
+/// One worker session's live status as reported in a status reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStatus {
+    /// The coordinator-assigned session id.
+    pub session: u64,
+    /// The worker's display name from its handshake.
+    pub worker: String,
+    /// Whether the session is still connected.
+    pub connected: bool,
+    /// Results this worker has landed so far.
+    pub cells: u64,
+    /// Of those, served from the worker's local cache.
+    pub hits: u64,
+    /// Computed and stored in the worker's cache.
+    pub misses: u64,
+    /// Computed with no cache attached.
+    pub bypass: u64,
+    /// Leases this worker has nacked.
+    pub nacks: u64,
+    /// Milliseconds since the coordinator last heard from this worker.
+    pub last_seen_ms: u64,
+}
+
+impl WorkerStatus {
+    fn render(&self) -> String {
+        format!(
+            "{{\"session\":{},\"worker\":\"{}\",\"connected\":{},\"cells\":{},\
+             \"hits\":{},\"misses\":{},\"bypass\":{},\"nacks\":{},\"last_seen_ms\":{}}}",
+            self.session,
+            escape_text(&self.worker),
+            self.connected,
+            self.cells,
+            self.hits,
+            self.misses,
+            self.bypass,
+            self.nacks,
+            self.last_seen_ms
+        )
+    }
+
+    fn from_json(value: &JsonValue) -> Result<WorkerStatus, String> {
+        let count = |key: &str| -> Result<u64, String> { Ok(u64_member(value, key)?.unwrap_or(0)) };
+        Ok(WorkerStatus {
+            session: count("session")?,
+            worker: text_member(value, "worker")?
+                .unwrap_or("worker")
+                .to_string(),
+            connected: bool_member(value, "connected")?.unwrap_or(false),
+            cells: count("cells")?,
+            hits: count("hits")?,
+            misses: count("misses")?,
+            bypass: count("bypass")?,
+            nacks: count("nacks")?,
+            last_seen_ms: count("last_seen_ms")?,
+        })
+    }
+}
+
+/// A coordinator's live answer to a status query: the grid's disposition
+/// plus one [`WorkerStatus`] per session ever seen.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatusBody {
+    /// Milliseconds since the sweep started.
+    pub elapsed_ms: u64,
+    /// Total grid cells.
+    pub cells: u64,
+    /// Cells finished successfully.
+    pub done: u64,
+    /// Cells that exhausted their retry/reassignment budgets.
+    pub failed: u64,
+    /// Cells currently leased out.
+    pub leased: u64,
+    /// Cells ready to lease now.
+    pub queued: u64,
+    /// Cells waiting out a retry backoff.
+    pub backoff: u64,
+    /// Every worker session seen so far, in session order.
+    pub workers: Vec<WorkerStatus>,
+}
+
+impl StatusBody {
+    fn render(&self) -> String {
+        let workers: Vec<String> = self.workers.iter().map(WorkerStatus::render).collect();
+        format!(
+            "{{\"type\":\"status\",\"elapsed_ms\":{},\"cells\":{},\"done\":{},\"failed\":{},\
+             \"leased\":{},\"queued\":{},\"backoff\":{},\"workers\":[{}]}}",
+            self.elapsed_ms,
+            self.cells,
+            self.done,
+            self.failed,
+            self.leased,
+            self.queued,
+            self.backoff,
+            workers.join(",")
+        )
+    }
+
+    fn from_json(value: &JsonValue) -> Result<StatusBody, String> {
+        let count = |key: &str| -> Result<u64, String> { Ok(u64_member(value, key)?.unwrap_or(0)) };
+        let workers = match member(value, "workers") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(WorkerStatus::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("status `workers` must be an array".to_string()),
+            None => Vec::new(),
+        };
+        Ok(StatusBody {
+            elapsed_ms: count("elapsed_ms")?,
+            cells: count("cells")?,
+            done: count("done")?,
+            failed: count("failed")?,
+            leased: count("leased")?,
+            queued: count("queued")?,
+            backoff: count("backoff")?,
+            workers,
+        })
     }
 }
 
@@ -413,6 +561,8 @@ pub enum CoordinatorFrame {
         /// What was violated.
         message: String,
     },
+    /// Live fleet status, answering a [`WorkerFrame::Status`] query.
+    Status(StatusBody),
 }
 
 impl CoordinatorFrame {
@@ -443,6 +593,7 @@ impl CoordinatorFrame {
                     escape_text(message)
                 )
             }
+            CoordinatorFrame::Status(body) => body.render(),
         }
     }
 
@@ -473,6 +624,7 @@ impl CoordinatorFrame {
             "error" => Ok(CoordinatorFrame::Error {
                 message: text_member(&value, "message")?.unwrap_or("").to_string(),
             }),
+            "status" => Ok(CoordinatorFrame::Status(StatusBody::from_json(&value)?)),
             other => Err(format!("unknown coordinator frame type `{other}`")),
         }
     }
@@ -520,6 +672,9 @@ mod tests {
                 kind: "watchdog".to_string(),
                 message: "no commit for 100000 cycles".to_string(),
             },
+            WorkerFrame::Status {
+                fabric: FABRIC_SCHEMA as u64,
+            },
         ];
         for frame in frames {
             let line = frame.render();
@@ -562,11 +717,55 @@ mod tests {
             CoordinatorFrame::Error {
                 message: "unknown frame".to_string(),
             },
+            CoordinatorFrame::Status(StatusBody {
+                elapsed_ms: 1_234,
+                cells: 16,
+                done: 9,
+                failed: 1,
+                leased: 3,
+                queued: 2,
+                backoff: 1,
+                workers: vec![
+                    WorkerStatus {
+                        session: 1,
+                        worker: "w\"1".to_string(),
+                        connected: true,
+                        cells: 5,
+                        hits: 2,
+                        misses: 3,
+                        bypass: 0,
+                        nacks: 0,
+                        last_seen_ms: 12,
+                    },
+                    WorkerStatus {
+                        session: 2,
+                        worker: "w2".to_string(),
+                        connected: false,
+                        cells: 4,
+                        hits: 0,
+                        misses: 0,
+                        bypass: 4,
+                        nacks: 1,
+                        last_seen_ms: 900,
+                    },
+                ],
+            }),
         ];
         for frame in frames {
             let line = frame.render();
             assert_eq!(CoordinatorFrame::parse(&line).expect(&line), frame);
         }
+    }
+
+    #[test]
+    fn empty_status_bodies_round_trip_and_reject_bad_workers() {
+        let frame = CoordinatorFrame::Status(StatusBody::default());
+        let line = frame.render();
+        assert_eq!(CoordinatorFrame::parse(&line).expect(&line), frame);
+        assert!(
+            CoordinatorFrame::parse("{\"type\":\"status\",\"workers\":7}").is_err(),
+            "non-array workers must be rejected"
+        );
     }
 
     #[test]

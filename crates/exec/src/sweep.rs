@@ -16,7 +16,8 @@ use cpe_stats::{geometric_mean, Table};
 use cpe_workloads::{Scale, Workload};
 
 use crate::cache::ResultCache;
-use crate::job::{execute_jobs, preset_configs, scale_name, CacheStatus, Job, JobOutcome};
+use crate::job::{execute_jobs_observed, preset_configs, scale_name, CacheStatus, Job, JobOutcome};
+use crate::observe::SweepProgress;
 use crate::render::{member, number_at, parse, render};
 
 /// The grid a sweep executes: configurations × workloads at one scale
@@ -93,12 +94,31 @@ impl SweepPlan {
         workers: usize,
         cache: Option<&ResultCache>,
     ) -> Result<SweepResults, SimError> {
+        self.run_with_progress(workers, cache, None)
+    }
+
+    /// [`SweepPlan::run`] with an optional live progress line on stderr.
+    /// Progress never touches the results — the table and metrics stay
+    /// byte-identical to an unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the grid is empty.
+    pub fn run_with_progress(
+        &self,
+        workers: usize,
+        cache: Option<&ResultCache>,
+        progress: Option<&SweepProgress>,
+    ) -> Result<SweepResults, SimError> {
         if self.configs.is_empty() || self.workloads.is_empty() {
             self.validate()?;
         }
         let started = Instant::now();
         let jobs = self.jobs();
-        let (outcomes, scheduler) = execute_jobs(&jobs, workers, cache);
+        let (outcomes, scheduler) = execute_jobs_observed(&jobs, workers, cache, progress);
+        if let Some(progress) = progress {
+            progress.finish();
+        }
         Ok(SweepResults::assemble(
             self.clone(),
             outcomes,

@@ -180,6 +180,9 @@ pub fn run_worker(
             Received::Frame(CoordinatorFrame::HelloAck { .. }) => {
                 return Err("unexpected duplicate hello_ack".to_string())
             }
+            Received::Frame(CoordinatorFrame::Status(_)) => {
+                return Err("unexpected status frame".to_string())
+            }
             Received::Frame(CoordinatorFrame::Lease { lease, job: spec }) => {
                 let job = match spec.resolve() {
                     Ok(job) => job,

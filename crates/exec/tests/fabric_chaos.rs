@@ -161,3 +161,163 @@ fn seeded_fuzz_cases_hold_the_byte_identity_promise() {
         assert_eq!(run.results.stats.failed, 0, "seed {seed}");
     }
 }
+
+/// Full observability under fault injection: every JSONL line parses,
+/// the event counts reconcile with the coordinator's counters, the
+/// `fabric` metrics document and Chrome trace are well formed — and
+/// none of it perturbs the sweep's results by a single byte.
+#[test]
+fn observed_chaos_reconciles_events_with_counters_and_stays_byte_identical() {
+    use cpe_exec::chaos::run_with_behaviors_observed;
+    use cpe_exec::render::{bool_member, number_at, parse, text_member};
+    use cpe_exec::{EventLog, FabricObserver, DEFAULT_EVENT_CAPACITY};
+    use std::collections::HashMap;
+
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let (log, buffer) = EventLog::to_buffer(DEFAULT_EVENT_CAPACITY);
+    let run = run_with_behaviors_observed(
+        &plan,
+        test_options(),
+        &[Behavior::KillsMidJob, Behavior::Healthy],
+        FabricObserver::new(Some(log), true, None),
+    )
+    .expect("fabric survives the kill under observation");
+
+    // Observability never touches the results: table and metrics are
+    // byte-identical to the serial, unobserved run.
+    assert_eq!(run.results.aggregate_json(), serial.aggregate_json());
+    assert_eq!(
+        run.results.ipc_table().to_csv(),
+        serial.ipc_table().to_csv()
+    );
+    assert_eq!(run.results.stats.failed, 0);
+
+    // Every log line is valid JSON with a named event and a timestamp.
+    let contents = buffer.contents();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut stale_results = 0u64;
+    let mut lines = 0u64;
+    for (index, line) in contents.lines().enumerate() {
+        let value =
+            parse(line).unwrap_or_else(|error| panic!("line {}: {error}: {line}", index + 1));
+        assert!(
+            number_at(&value, &["t_ms"]).is_some(),
+            "line {} has a timestamp: {line}",
+            index + 1
+        );
+        let event = text_member(&value, "event")
+            .expect("event is a string")
+            .expect("every line names its event")
+            .to_string();
+        if event == "result" && bool_member(&value, "stale").expect("stale is a bool") == Some(true)
+        {
+            stale_results += 1;
+        }
+        *counts.entry(event).or_default() += 1;
+        lines += 1;
+    }
+    let summary = run.log.expect("a log was attached");
+    assert_eq!(summary.dropped, 0, "a tiny grid never overflows the log");
+    assert_eq!(summary.written, lines, "the summary matches the sink");
+
+    // Events reconcile with the counters the footer reports: same
+    // facts, two channels.
+    let count = |name: &str| counts.get(name).copied().unwrap_or(0);
+    let stats = &run.stats;
+    assert_eq!(count("lease_grant"), stats.granted);
+    assert_eq!(count("lease_expire"), stats.expired);
+    assert_eq!(count("reassign"), stats.reassigned);
+    assert_eq!(count("retry"), stats.retries);
+    assert_eq!(count("cell_failed"), stats.failed as u64);
+    assert_eq!(count("worker_connect"), stats.workers_seen);
+    assert_eq!(count("wait"), stats.waits);
+    assert_eq!(count("protocol_error"), stats.protocol_errors);
+    assert_eq!(count("status_query"), stats.status_queries);
+    assert_eq!(stale_results, stats.stale_results);
+    assert_eq!(count("sweep_start"), 1);
+    assert_eq!(count("sweep_done"), 1);
+
+    // The fleet metrics document parses and carries the same counters.
+    let metrics = parse(&run.fabric_json).expect("fabric metrics parse");
+    assert_eq!(number_at(&metrics, &["schema"]), Some(2.0));
+    assert_eq!(
+        number_at(&metrics, &["fabric", "granted"]),
+        Some(stats.granted as f64)
+    );
+    assert_eq!(
+        number_at(&metrics, &["fabric", "workers_seen"]),
+        Some(stats.workers_seen as f64)
+    );
+    assert_eq!(
+        number_at(&metrics, &["fabric", "log", "written"]),
+        Some(summary.written as f64)
+    );
+
+    // The Chrome trace parses and has one named lane per session.
+    let trace = run.trace_json.expect("tracing was on");
+    parse(&trace).expect("trace parses");
+    assert_eq!(
+        trace.matches("\"thread_name\"").count() as u64,
+        stats.workers_seen,
+        "one lane per worker session"
+    );
+}
+
+/// The live `status` endpoint: answered mid-sweep without disturbing
+/// the grid, and version skew is refused with a diagnosis, not a hang.
+#[test]
+fn status_frames_answer_mid_sweep_and_refuse_version_skew() {
+    use cpe_exec::{query_status, Coordinator, ServeDefaults, Server, FABRIC_SCHEMA};
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    let plan = tiny_plan();
+    let serial = plan.run(1, None).expect("serial runs");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = Server::new(None, ServeDefaults::default());
+    let coordinator = Coordinator::new(plan.jobs(), test_options());
+    let stop = AtomicBool::new(false);
+    let timeout = Duration::from_secs(2);
+
+    let report = std::thread::scope(|scope| {
+        let probe_addr = addr.clone();
+        let worker_stop = &stop;
+        scope.spawn(move || {
+            // Probe before any worker exists: the whole grid is queued.
+            let before = query_status(&probe_addr, u64::from(FABRIC_SCHEMA), timeout)
+                .expect("status answers mid-sweep");
+            assert_eq!(before.cells, 4);
+            assert_eq!(before.done, 0);
+            assert_eq!(before.queued, 4);
+            assert_eq!(before.leased, 0);
+            assert!(before.workers.is_empty());
+
+            // A future protocol version gets a refusal, not an answer.
+            let skew = query_status(&probe_addr, 999, timeout).expect_err("skew is refused");
+            assert!(skew.contains("unsupported"), "{skew}");
+
+            // Then a healthy worker drains the sweep.
+            let _ = cpe_exec::run_worker(
+                &probe_addr,
+                None,
+                &cpe_exec::WorkerOptions::default(),
+                worker_stop,
+            );
+        });
+        coordinator.run(listener, &server).expect("sweep completes")
+    });
+
+    assert_eq!(
+        report.stats.status_queries, 1,
+        "the skewed query is refused, not counted"
+    );
+    let results =
+        cpe_exec::SweepResults::assemble(plan, report.outcomes, 1, 0, report.stats.wall_seconds);
+    assert_eq!(
+        results.aggregate_json(),
+        serial.aggregate_json(),
+        "status queries must not perturb the sweep"
+    );
+}

@@ -21,15 +21,23 @@
 //!                                   benchmark the simulator itself over the
 //!                                   standard workloads; write BENCH_<name>.json
 //! cpe sweep [--jobs N] [--scale S] [--max N] [--configs a,b] [--workloads x,y]
-//!           [--no-cache] [--cache-dir DIR] [--metrics-json FILE]
-//!           [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]]
+//!           [--no-cache] [--cache-dir DIR] [--metrics-json FILE] [--no-progress]
+//!           [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]
+//!            [--fabric-log FILE] [--fabric-trace FILE] [--fabric-metrics FILE]]
 //!                                   run the config × workload grid through the
 //!                                   parallel scheduler and result cache, or —
 //!                                   with --coordinator — lease the grid out to
-//!                                   `cpe worker` processes over TCP
+//!                                   `cpe worker` processes over TCP, with an
+//!                                   optional JSONL event log, Chrome trace,
+//!                                   and fleet metrics document on the side
 //! cpe worker --connect ADDR [--name NAME] [--no-cache] [--cache-dir DIR]
 //!                                   lease and run sweep cells from a
 //!                                   coordinator; drains cleanly on SIGTERM
+//! cpe status --connect ADDR [--timeout-ms N]
+//!                                   query a live coordinator mid-sweep:
+//!                                   progress counts plus a per-worker table
+//! cpe validate <file>... [--jsonl]  parse observability artifacts (JSON or
+//!                                   JSONL); exit 2 on any malformed input
 //! cpe fuzz-fabric [--cases N] [--seed S]
 //!                                   seeded chaos runs of the sweep fabric;
 //!                                   exit 1 if any diverges from serial
@@ -54,8 +62,9 @@
 use std::process::ExitCode;
 
 use cpe::exec::{
-    bench_parallel, chaos, run_worker, Coordinator, FabricOptions, ResultCache, ServeDefaults,
-    Server, SweepPlan, SweepResults, WorkerOptions, DEFAULT_CACHE_DIR,
+    bench_parallel, chaos, query_status, run_worker, Coordinator, EventLog, FabricObserver,
+    FabricOptions, ResultCache, ServeDefaults, Server, SweepPlan, SweepProgress, SweepResults,
+    WorkerOptions, DEFAULT_CACHE_DIR, DEFAULT_EVENT_CAPACITY, FABRIC_SCHEMA,
 };
 use cpe::isa::trace_io::{write_trace, TraceReader};
 use cpe::isa::{asm::assemble, Emulator, Program};
@@ -466,8 +475,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
         run_fabric_sweep(args, plan, &address)?
     } else {
+        for flag in ["--fabric-log", "--fabric-trace", "--fabric-metrics"] {
+            if args.iter().any(|arg| arg == flag) {
+                return Err(format!("{flag} applies only with --coordinator"));
+            }
+        }
         let cache = open_cache(args);
-        plan.run(jobs, cache.as_ref())
+        let progress = sweep_progress(args, &plan);
+        plan.run_with_progress(jobs, cache.as_ref(), progress.as_ref())
             .map_err(|error| error.to_string())?
     };
     println!("{}", results.ipc_table());
@@ -484,10 +499,26 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The live progress line, unless `--no-progress` asked for silence.
+/// TTY detection is inside [`SweepProgress::auto`]: interactive runs
+/// get an in-place line, piped stderr gets occasional plain lines.
+fn sweep_progress(args: &[String], plan: &SweepPlan) -> Option<SweepProgress> {
+    if args.iter().any(|arg| arg == "--no-progress") {
+        None
+    } else {
+        Some(SweepProgress::auto(plan.jobs().len()))
+    }
+}
+
 /// The distributed arm of `cpe sweep`: listen on `address`, lease the
 /// grid out to connecting `cpe worker` processes, and assemble their
 /// results through the same path the local scheduler uses — so the
 /// table and metrics document are byte-identical either way.
+///
+/// All observability is opt-in and side-channel: `--fabric-log` streams
+/// JSONL events, `--fabric-trace` renders a Chrome trace, and
+/// `--fabric-metrics` writes the fleet counters — none of them touch
+/// the stdout table or the `--metrics-json` document.
 fn run_fabric_sweep(
     args: &[String],
     plan: SweepPlan,
@@ -517,7 +548,13 @@ fn run_fabric_sweep(
         max_insts: plan.max_insts,
     };
     let server = Server::new(open_cache(args), serve_defaults);
-    let coordinator = Coordinator::new(plan.jobs(), options);
+    let log = match parse_flag(args, "--fabric-log") {
+        Some(path) => Some(EventLog::create(&path, DEFAULT_EVENT_CAPACITY)?),
+        None => None,
+    };
+    let trace_out = parse_flag(args, "--fabric-trace");
+    let observer = FabricObserver::new(log, trace_out.is_some(), sweep_progress(args, &plan));
+    let coordinator = Coordinator::with_observer(plan.jobs(), options, observer);
     let listener = std::net::TcpListener::bind(address)
         .map_err(|error| format!("cannot listen on `{address}`: {error}"))?;
     eprintln!("coordinating {} cell(s) on {address} (start workers with `cpe worker --connect {address}`)",
@@ -525,7 +562,31 @@ fn run_fabric_sweep(
     let report = coordinator
         .run(listener, &server)
         .map_err(|error| format!("coordinator: {error}"))?;
+    if let Some(path) = &trace_out {
+        let rendered = report.trace_json.as_deref().unwrap_or("");
+        write_file(path, rendered)?;
+        eprintln!("wrote fabric trace to {path}");
+    }
+    if let Some(path) = parse_flag(args, "--fabric-metrics") {
+        write_file(&path, &report.fabric_json())?;
+        eprintln!("wrote fabric metrics to {path}");
+    }
     eprintln!("{}", report.stats);
+    // The fleet footer: one line per worker session, then the latency
+    // distributions — stderr only, like every other footer line.
+    for worker in &report.workers {
+        eprintln!("{worker}");
+    }
+    if let (Some(p50), Some(p99)) = (report.lease_latency_ms.p50(), report.lease_latency_ms.p99()) {
+        eprint!("fabric: lease latency p50 {p50}ms p99 {p99}ms");
+        if let (Some(w50), Some(w99)) = (report.cell_wall_ms.p50(), report.cell_wall_ms.p99()) {
+            eprint!(", cell wall p50 {w50}ms p99 {w99}ms");
+        }
+        eprintln!();
+    }
+    if let Some(log) = &report.log {
+        eprintln!("fabric log: {log}");
+    }
     if server.jobs_served() > 0 {
         eprintln!(
             "also served {} single-job request(s): {}",
@@ -542,6 +603,88 @@ fn run_fabric_sweep(
         0,
         wall,
     ))
+}
+
+/// `cpe status --connect ADDR`: one query frame against a live
+/// coordinator, rendered as a summary line plus a per-worker table.
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let address = parse_flag(args, "--connect")
+        .ok_or_else(|| format!("status needs --connect ADDR\n\n{}", usage()))?;
+    let timeout_ms: u64 = parse_number(args, "--timeout-ms")?.unwrap_or(2_000);
+    let status = query_status(
+        &address,
+        u64::from(FABRIC_SCHEMA),
+        std::time::Duration::from_millis(timeout_ms.max(1)),
+    )?;
+    println!(
+        "sweep: {}/{} cell(s) done, {} failed, {} leased, {} queued, {} in backoff ({:.1}s elapsed)",
+        status.done,
+        status.cells,
+        status.failed,
+        status.leased,
+        status.queued,
+        status.backoff,
+        status.elapsed_ms as f64 / 1.0e3
+    );
+    if status.workers.is_empty() {
+        println!("no workers have connected yet");
+        return Ok(());
+    }
+    let mut table = Table::new([
+        "session",
+        "worker",
+        "state",
+        "cells",
+        "hits",
+        "misses",
+        "nacks",
+        "last seen",
+    ]);
+    for worker in &status.workers {
+        table.row([
+            worker.session.to_string(),
+            worker.worker.clone(),
+            if worker.connected { "up" } else { "gone" }.to_string(),
+            worker.cells.to_string(),
+            worker.hits.to_string(),
+            worker.misses.to_string(),
+            worker.nacks.to_string(),
+            format!("{:.1}s ago", worker.last_seen_ms as f64 / 1.0e3),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+/// `cpe validate FILE...`: parse observability artifacts — fabric JSONL
+/// event logs (by `--jsonl` or a `.jsonl` suffix) line by line, anything
+/// else as one JSON document. Any malformed input is a hard error.
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let jsonl_flag = args.iter().any(|arg| arg == "--jsonl");
+    let paths: Vec<&String> = args.iter().filter(|arg| !arg.starts_with('-')).collect();
+    if paths.is_empty() {
+        return Err(format!("validate needs at least one FILE\n\n{}", usage()));
+    }
+    for path in paths {
+        let contents = std::fs::read_to_string(path)
+            .map_err(|error| format!("cannot read `{path}`: {error}"))?;
+        if jsonl_flag || path.ends_with(".jsonl") {
+            let mut lines = 0usize;
+            for (index, line) in contents.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                cpe::exec::render::parse(line)
+                    .map_err(|error| format!("{path}:{}: {error}", index + 1))?;
+                lines += 1;
+            }
+            println!("{path}: ok ({lines} event line(s))");
+        } else {
+            cpe::exec::render::parse(&contents).map_err(|error| format!("{path}: {error}"))?;
+            println!("{path}: ok");
+        }
+    }
+    Ok(())
 }
 
 /// `SIGTERM`/`SIGINT` raise this flag; the worker drains its current
@@ -720,8 +863,11 @@ fn usage() -> &'static str {
      cpe bench [--name N] [--config NAME] [--max N] [--out FILE] [--jobs N]\n  \
      cpe sweep [--jobs N] [--scale test|small|full] [--max N] [--configs a,b]\n            \
      [--workloads x,y] [--no-cache] [--cache-dir DIR] [--metrics-json FILE]\n            \
-     [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]]\n  \
+     [--no-progress] [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]\n            \
+     [--fabric-log FILE] [--fabric-trace FILE] [--fabric-metrics FILE]]\n  \
      cpe worker --connect ADDR [--name NAME] [--no-cache] [--cache-dir DIR]\n  \
+     cpe status --connect ADDR [--timeout-ms N]\n  \
+     cpe validate <file.json|file.jsonl>... [--jsonl]\n  \
      cpe fuzz-fabric [--cases N] [--seed S]\n  \
      cpe cache stats|clear [--cache-dir DIR]\n  \
      cpe serve (--stdin | --listen ADDR) [--no-cache] [--cache-dir DIR]\n            \
@@ -829,10 +975,21 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                     "--coordinator",
                     "--lease-ms",
                     "--heartbeat-ms",
+                    "--fabric-log",
+                    "--fabric-trace",
+                    "--fabric-metrics",
                 ],
-                &["--no-cache"],
+                &["--no-cache", "--no-progress"],
             )?;
             done(cmd_sweep(args))
+        }
+        Some("status") => {
+            reject_unknown_flags(&args[1..], &["--connect", "--timeout-ms"], &[])?;
+            done(cmd_status(args))
+        }
+        Some("validate") if args.len() >= 2 => {
+            reject_unknown_flags(&args[1..], &[], &["--jsonl"])?;
+            done(cmd_validate(&args[1..]))
         }
         Some("worker") => {
             reject_unknown_flags(
