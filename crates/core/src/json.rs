@@ -11,7 +11,7 @@
 //! * [`config_json`] — the embedded configuration object, also useful on
 //!   its own.
 
-use cpe_cpu::{CpuConfig, DirPredictorKind, Disambiguation, FuSpec};
+use cpe_cpu::{CpuConfig, CpuStats, DirPredictorKind, Disambiguation, FuSpec, StallCause};
 use cpe_mem::{
     CacheGeometry, Latencies, LineBufferConfig, MemConfig, PortConfig, ReplacementPolicy,
     StoreBufferConfig, TlbConfig, WritePolicy,
@@ -29,7 +29,12 @@ use crate::observe::{EpochMetrics, ProfiledRun, SelfProfile};
 /// store-commit-latency and residency histograms plus occupancy
 /// distributions), the summary's latency percentiles, and the per-epoch
 /// `load_latency_p50`/`load_latency_p95` fields.
-pub const METRICS_SCHEMA: u32 = 2;
+///
+/// Schema 3 added the `cpi_stack` commit-slot accounting object — which
+/// carries its own conservation contract (`total == commit_slots ==
+/// cycles × commit_width`) so a validator needs nothing else — and the
+/// per-epoch `cpi_slots` breakdown.
+pub const METRICS_SCHEMA: u32 = 3;
 
 /// Escape a string for a JSON literal.
 pub(crate) fn escape(text: &str) -> String {
@@ -135,6 +140,25 @@ fn distributions_json(summary: &RunSummary) -> String {
         dense_hist_json(&mem.mshr_occupancy),
         dense_hist_json(&mem.store_buffer_occupancy),
         dense_hist_json(&mem.port_queue_depth)
+    )
+}
+
+/// The commit-slot accounting stack as one self-contained object: the
+/// conservation inputs (`commit_width`, `commit_slots`) ride along so
+/// `cpe validate` can check `total == commit_slots == sum(causes)`
+/// without consulting any other part of the document.
+fn cpi_stack_json(cpu: &CpuStats) -> String {
+    let causes: Vec<String> = cpu
+        .cpi_stack
+        .iter()
+        .map(|(cause, slots)| format!("\"{}\":{slots}", cause.name()))
+        .collect();
+    format!(
+        "{{\"commit_width\":{},\"commit_slots\":{},\"total\":{},\"causes\":{{{}}}}}",
+        cpu.commit_width,
+        cpu.cycles.get() * cpu.commit_width,
+        cpu.cpi_stack.total(),
+        causes.join(",")
     )
 }
 
@@ -331,11 +355,16 @@ pub fn summary_json(summary: &RunSummary) -> String {
 }
 
 fn epoch_json(epoch: &EpochMetrics) -> String {
+    let cpi: Vec<String> = StallCause::ALL
+        .iter()
+        .zip(epoch.cpi_slots.iter())
+        .map(|(cause, slots)| format!("\"{}\":{slots}", cause.name()))
+        .collect();
     format!(
         "{{\"start_cycle\":{},\"end_cycle\":{},\"insts\":{},\"loads\":{},\"stores\":{},\
          \"dcache_misses\":{},\"ipc\":{},\"port_utilisation\":{},\"portless_load_fraction\":{},\
          \"dcache_mpki\":{},\"store_combine_rate\":{},\"load_latency_p50\":{},\
-         \"load_latency_p95\":{}}}",
+         \"load_latency_p95\":{},\"cpi_slots\":{{{}}}}}",
         epoch.start_cycle,
         epoch.end_cycle,
         epoch.insts,
@@ -348,7 +377,8 @@ fn epoch_json(epoch: &EpochMetrics) -> String {
         num(epoch.dcache_mpki),
         num(epoch.store_combine_rate),
         opt(epoch.load_latency_p50),
-        opt(epoch.load_latency_p95)
+        opt(epoch.load_latency_p95),
+        cpi.join(",")
     )
 }
 
@@ -376,12 +406,13 @@ fn self_profile_json(profile: &SelfProfile) -> String {
 pub fn profile_json(run: &ProfiledRun, config: &SimConfig) -> String {
     let epochs: Vec<String> = run.series.epochs.iter().map(epoch_json).collect();
     format!(
-        "{{\"schema\":{},\"config\":{},\"summary\":{},\"distributions\":{},\
+        "{{\"schema\":{},\"config\":{},\"summary\":{},\"distributions\":{},\"cpi_stack\":{},\
          \"epoch_interval\":{},\"epochs\":[{}],\"self_profile\":{}}}",
         METRICS_SCHEMA,
         config_json(config),
         summary_json(&run.summary),
         distributions_json(&run.summary),
+        cpi_stack_json(&run.summary.raw.cpu),
         run.series.interval,
         epochs.join(","),
         self_profile_json(&run.self_profile)
@@ -501,12 +532,25 @@ mod tests {
             .expect("run completes");
         let text = profile_json(&run, sim.config());
         assert_balanced(&text);
-        assert!(text.starts_with("{\"schema\":2,"));
+        assert!(text.starts_with("{\"schema\":3,"));
         // Self-describing: the config rides inside the document.
         assert!(text.contains("\"config\":{\"name\":\"1-port combined\""));
         assert!(text.contains("\"epochs\":["));
         assert!(text.contains("\"self_profile\":{"));
         assert!(text.contains(&format!("\"cycles\":{}", run.summary.cycles)));
+        // The CPI stack rides along with its conservation inputs, and the
+        // stated total matches cycles × commit_width exactly.
+        let width = run.summary.raw.cpu.commit_width;
+        let slots = run.summary.cycles * width;
+        assert!(
+            text.contains(&format!(
+                "\"cpi_stack\":{{\"commit_width\":{width},\"commit_slots\":{slots},\
+                 \"total\":{slots},\"causes\":{{\"base\":"
+            )),
+            "{text}"
+        );
+        assert!(text.contains("\"dcache_port_conflict\":"), "{text}");
+        assert!(text.contains("\"cpi_slots\":{\"base\":"), "{text}");
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod metrics;
 mod observe;
 mod report;
 mod simulator;
+mod validate;
 
 pub use bench::{peak_rss_bytes, BenchEntry, BenchReport};
 pub use config::SimConfig;
@@ -62,5 +63,9 @@ pub use experiment::{Experiment, ResultRow};
 pub use json::{config_json, profile_json, summary_json, METRICS_SCHEMA};
 pub use metrics::RunSummary;
 pub use observe::{EpochMetrics, MetricsSeries, ProfileOptions, ProfiledRun, SelfProfile};
-pub use report::detailed_report;
+pub use report::{detailed_report, explain_report};
 pub use simulator::Simulator;
+pub use validate::validate_cpi_stacks;
+// The commit-slot accounting types surface here because the CPI stack is
+// part of this crate's exported documents and reports.
+pub use cpe_cpu::{CpiStack, StallCause};

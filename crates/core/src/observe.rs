@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use cpe_cpu::{Core, SimResult};
+use cpe_cpu::{Core, SimResult, StallCause};
 use cpe_isa::DynInst;
 use cpe_mem::MemSystem;
 use cpe_stats::{Log2Histogram, TimeSeries};
@@ -73,6 +73,11 @@ pub struct EpochMetrics {
     pub load_latency_p50: Option<u64>,
     /// 95th-percentile latency of the loads completed in the epoch.
     pub load_latency_p95: Option<u64>,
+    /// Commit-slot attribution deltas for the epoch, indexed by
+    /// [`StallCause`] declaration order ([`StallCause::ALL`]). The
+    /// conservation invariant holds per epoch: the components sum to
+    /// `(end_cycle - start_cycle) × commit_width`.
+    pub cpi_slots: [u64; StallCause::COUNT],
 }
 
 /// Cumulative counter values at an epoch boundary.
@@ -90,6 +95,8 @@ struct Snapshot {
     /// The cumulative load-latency distribution; epoch percentiles come
     /// from subtracting consecutive snapshots ([`Log2Histogram::delta`]).
     load_latency: Log2Histogram,
+    /// Cumulative commit-slot attribution ([`StallCause::ALL`] order).
+    cpi: [u64; StallCause::COUNT],
 }
 
 impl Snapshot {
@@ -109,6 +116,7 @@ impl Snapshot {
             slots_offered: mem.port_slots_offered.get(),
             store_combined: mem.store_combined.get(),
             load_latency: mem.load_latency.clone(),
+            cpi: cpu.cpi_stack.slots(),
         }
     }
 
@@ -119,6 +127,13 @@ impl Snapshot {
         let stores = self.stores - prev.stores;
         let misses = self.dcache_misses - prev.dcache_misses;
         let epoch_latency = self.load_latency.delta(&prev.load_latency);
+        let mut cpi_slots = [0u64; StallCause::COUNT];
+        for (slot, (now, then)) in cpi_slots
+            .iter_mut()
+            .zip(self.cpi.iter().zip(prev.cpi.iter()))
+        {
+            *slot = now - then;
+        }
         let ratio = |num: u64, den: u64| {
             if den == 0 {
                 0.0
@@ -147,6 +162,7 @@ impl Snapshot {
             store_combine_rate: ratio(self.store_combined - prev.store_combined, stores),
             load_latency_p50: epoch_latency.p50(),
             load_latency_p95: epoch_latency.p95(),
+            cpi_slots,
         }
     }
 }
@@ -379,6 +395,33 @@ mod tests {
             expected_start = epoch.end_cycle;
         }
         assert_eq!(expected_start, run.summary.cycles);
+    }
+
+    #[test]
+    fn epoch_cpi_slots_conserve_commit_slots() {
+        let run = profile(500);
+        let width = run.summary.raw.cpu.commit_width;
+        let mut totals = [0u64; StallCause::COUNT];
+        for epoch in &run.series.epochs {
+            let sum: u64 = epoch.cpi_slots.iter().sum();
+            assert_eq!(
+                sum,
+                (epoch.end_cycle - epoch.start_cycle) * width,
+                "epoch {}..{} leaks commit slots",
+                epoch.start_cycle,
+                epoch.end_cycle
+            );
+            for (total, slots) in totals.iter_mut().zip(epoch.cpi_slots.iter()) {
+                *total += slots;
+            }
+        }
+        // Epoch deltas tile the run's attribution exactly, and the Base
+        // component is the committed-instruction count by construction.
+        assert_eq!(totals, run.summary.raw.cpu.cpi_stack.slots());
+        assert_eq!(
+            run.summary.raw.cpu.cpi_stack.get(StallCause::Base),
+            run.summary.insts
+        );
     }
 
     #[test]

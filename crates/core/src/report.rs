@@ -58,6 +58,35 @@ pub fn detailed_report(summary: &RunSummary) -> String {
         .row(["branch mispredict rate", &percent2(summary.mispredict_rate)]);
     out.push_str(&t.to_markdown());
 
+    section(&mut out, "CPI stack");
+    let width = cpu.commit_width.max(1);
+    let total_slots = cpu.cpi_stack.total();
+    let slot_cpi = |slots: u64| {
+        if summary.insts == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.4}", slots as f64 / width as f64 / summary.insts as f64)
+        }
+    };
+    let mut t = Table::new(["cause", "slots", "% of slots", "CPI"]);
+    for (cause, slots) in cpu.cpi_stack.iter() {
+        t.row([
+            cause.name().to_string(),
+            slots.to_string(),
+            // 0/0 renders "-" on an empty run.
+            percent2(slots as f64 / total_slots as f64),
+            slot_cpi(slots),
+        ]);
+    }
+    let total_share = if total_slots == 0 { f64::NAN } else { 1.0 };
+    t.row([
+        "total".to_string(),
+        total_slots.to_string(),
+        percent2(total_share),
+        slot_cpi(total_slots),
+    ]);
+    out.push_str(&t.to_markdown());
+
     section(&mut out, "load sourcing");
     let loads = mem.loads.get().max(1) as f64;
     let mut t = Table::new(["source", "count", "% of loads"]);
@@ -204,6 +233,72 @@ pub fn detailed_report(summary: &RunSummary) -> String {
     out
 }
 
+/// Compare two runs' CPI stacks cause by cause — the payload of
+/// `cpe explain`. Every commit slot of each run is attributed to exactly
+/// one cause, so the per-cause CPI deltas account for the *entire* gap
+/// between the two machines; rows are ranked by delta magnitude, so the
+/// first rows name where the gap comes from.
+pub fn explain_report(a: &RunSummary, b: &RunSummary) -> String {
+    let cause_cpi = |summary: &RunSummary, slots: u64| {
+        if summary.insts == 0 {
+            f64::NAN
+        } else {
+            slots as f64 / summary.raw.cpu.commit_width.max(1) as f64 / summary.insts as f64
+        }
+    };
+    let fmt = |value: f64| {
+        if value.is_finite() {
+            format!("{value:.4}")
+        } else {
+            "-".to_string()
+        }
+    };
+    let fmt_delta = |value: f64| {
+        if value.is_finite() {
+            format!("{value:+.4}")
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# CPI stack comparison on {}\n\n\
+         a = `{}`: IPC {:.3} over {} insts in {} cycles\n\
+         b = `{}`: IPC {:.3} over {} insts in {} cycles\n\n",
+        a.workload, a.config, a.ipc, a.insts, a.cycles, b.config, b.ipc, b.insts, b.cycles
+    ));
+    let mut rows: Vec<(&str, f64, f64, f64)> = a
+        .raw
+        .cpu
+        .cpi_stack
+        .iter()
+        .map(|(cause, slots_a)| {
+            let cpi_a = cause_cpi(a, slots_a);
+            let cpi_b = cause_cpi(b, b.raw.cpu.cpi_stack.get(cause));
+            (cause.name(), cpi_a, cpi_b, cpi_b - cpi_a)
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.3.abs()
+            .partial_cmp(&x.3.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut t = Table::new(["cause", "CPI a", "CPI b", "delta (b-a)"]);
+    for (name, cpi_a, cpi_b, delta) in rows {
+        t.row([name.to_string(), fmt(cpi_a), fmt(cpi_b), fmt_delta(delta)]);
+    }
+    let total_a = cause_cpi(a, a.raw.cpu.cpi_stack.total());
+    let total_b = cause_cpi(b, b.raw.cpu.cpi_stack.total());
+    t.row([
+        "total".to_string(),
+        fmt(total_a),
+        fmt(total_b),
+        fmt_delta(total_b - total_a),
+    ]);
+    out.push_str(&t.to_markdown());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +315,7 @@ mod tests {
         let report = detailed_report(&summary);
         for heading in [
             "### headline",
+            "### CPI stack",
             "### load sourcing",
             "### store path",
             "### ports and hierarchy",
@@ -239,6 +335,45 @@ mod tests {
         assert!(report.contains("l1_port_hit"), "{report}");
         assert!(report.contains("MSHR residency"), "{report}");
         assert!(report.contains("LSQ entries"), "{report}");
+        // The CPI stack names every cause and closes with its total.
+        assert!(report.contains("dcache_port_conflict"), "{report}");
+        assert!(report.contains("fetch_starved"), "{report}");
+        assert!(report.contains("100.00%"), "{report}");
+    }
+
+    #[test]
+    fn explain_ranks_causes_by_cpi_delta() {
+        let max = Some(10_000);
+        let a = Simulator::new(SimConfig::naive_single_port()).run(
+            Workload::Compress,
+            Scale::Test,
+            max,
+        );
+        let b = Simulator::new(SimConfig::dual_port()).run(Workload::Compress, Scale::Test, max);
+        let report = explain_report(&a, &b);
+        assert!(report.contains("a = `1-port naive`"), "{report}");
+        assert!(report.contains("b = `2-port`"), "{report}");
+        assert!(report.contains("dcache_port_conflict"), "{report}");
+        assert!(report.contains("delta (b-a)"), "{report}");
+        assert!(report.contains("total"), "{report}");
+        assert!(!report.contains("NaN"), "{report}");
+        // The single-ported machine pays a port-conflict CPI component the
+        // dual-ported one all but avoids, so the row's delta is negative.
+        let conflict_row = report
+            .lines()
+            .find(|l| l.contains("dcache_port_conflict"))
+            .expect("conflict row present");
+        assert!(conflict_row.contains("-0."), "{conflict_row}");
+    }
+
+    #[test]
+    fn explain_survives_empty_runs() {
+        let sim = Simulator::new(SimConfig::naive_single_port());
+        let a = sim.run_trace("empty", std::iter::empty(), None);
+        let b = sim.run_trace("empty", std::iter::empty(), None);
+        let report = explain_report(&a, &b);
+        assert!(!report.contains("NaN"), "{report}");
+        assert!(!report.contains("inf"), "{report}");
     }
 
     #[test]

@@ -3,16 +3,17 @@
 use std::collections::VecDeque;
 
 use cpe_isa::{DynInst, Mode, Op, OpClass, Reg, INST_BYTES};
-use cpe_mem::{Addr, Cycle, LoadOutcome, MemStats, MemSystem, StoreOutcome};
+use cpe_mem::{Addr, Cycle, LoadOutcome, LoadSource, MemStats, MemSystem, StoreOutcome};
 use cpe_trace::{EventKind, TraceHandle};
 
 use crate::bpred::{Btb, DirectionPredictor, Ras};
 use crate::config::{CpuConfig, DirPredictorKind, Disambiguation};
+use crate::cpi::StallCause;
 use crate::fu::FuPool;
 #[cfg(test)]
 use crate::lsq::ranges_overlap;
 use crate::lsq::{range_covers, LoadGate, LsqTracker};
-use crate::rob::{EntryState, RobEntry};
+use crate::rob::{EntryState, RobEntry, WaitKind};
 use crate::sched::Scheduler;
 use crate::stats::CpuStats;
 use crate::watchdog::WatchdogReport;
@@ -287,6 +288,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         if event_driven {
             self.wake(now);
             if self.try_skip_idle(now)? {
+                self.assert_cpi_conservation();
                 return Ok(true);
             }
         }
@@ -326,6 +328,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         } else {
             self.stuck_cycles = 0;
         }
+        self.assert_cpi_conservation();
         self.now += 1;
         Ok(true)
     }
@@ -457,6 +460,13 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         self.issue_log.push((now, seq));
         self.sched.remove_candidate(seq);
         let ready_at = self.rob[idx].ready_at;
+        // Future-dated: stamped with the completion cycle at issue time.
+        self.tracer.emit(
+            ready_at,
+            EventKind::Complete,
+            self.rob[idx].di.pc,
+            seq as u32,
+        );
         if ready_at <= now {
             let waiters = std::mem::take(&mut self.rob[idx].waiters);
             for &waiter in &waiters {
@@ -590,6 +600,14 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             .lsq_occupancy
             .record_n(self.lsq.total() as u64, n);
         self.stats.commits_per_cycle.record_n(0, n);
+        // The skip preconditions freeze everything the slot-cause
+        // function reads (head state and wait reason, fetch/dispatch
+        // blockage, the skip bounds), so each skipped cycle would have
+        // attributed its commit_width empty slots to this same cause.
+        let cause = self.stall_slot_cause(now, false);
+        self.stats
+            .cpi_stack
+            .record(cause, n * u64::from(self.config.commit_width));
         let mode = self
             .rob
             .front()
@@ -711,6 +729,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
 
     fn commit(&mut self, now: Cycle) {
         let mut committed = 0u64;
+        let mut store_rejected = false;
         while committed < u64::from(self.config.commit_width) {
             let Some(head) = self.rob.front() else { break };
             if !head.done(now) {
@@ -721,12 +740,14 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 let bytes = head.di.mem_bytes();
                 if self.mem.commit_store(now, addr, bytes) == StoreOutcome::Rejected {
                     self.stats.commit_store_stall_cycles.inc();
+                    store_rejected = true;
                     break;
                 }
             }
             let entry = self.rob.pop_front().expect("checked above");
             let op = entry.di.inst.op;
-            self.tracer.emit(now, EventKind::Commit, entry.di.pc, 0);
+            self.tracer
+                .emit(now, EventKind::Commit, entry.di.pc, entry.seq as u32);
             #[cfg(test)]
             self.commit_log.push((now, entry.seq));
             if op.is_load() {
@@ -758,6 +779,109 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             committed += 1;
         }
         self.stats.commits_per_cycle.record(committed);
+
+        // Commit-slot accounting: every one of this cycle's
+        // `commit_width` slots gets a cause — committed slots are Base,
+        // and all empty slots share the one cause the ROB head (or the
+        // frontend) presents. The per-cause totals therefore sum to
+        // `cycles × commit_width` exactly (the conservation invariant).
+        let width = u64::from(self.config.commit_width);
+        self.stats.cpi_stack.record(StallCause::Base, committed);
+        if committed < width {
+            let cause = self.stall_slot_cause(now, store_rejected);
+            self.stats.cpi_stack.record(cause, width - committed);
+        }
+    }
+
+    /// Why this cycle's empty commit slots went unused: one cause for
+    /// all of them, read top-down at the ROB head. Pure with respect to
+    /// machine state, so the cycle-skipping bulk path can evaluate it
+    /// once and scale by the skip length — which is what keeps skipped
+    /// and stepped runs' stacks identical.
+    fn stall_slot_cause(&mut self, now: Cycle, store_rejected: bool) -> StallCause {
+        if store_rejected {
+            return StallCause::StoreBufferFull;
+        }
+        let Some(head) = self.rob.front() else {
+            return self.frontend_cause(now);
+        };
+        debug_assert!(!head.done(now));
+        // Specific memory causes pass through unrefined; only the
+        // generic waits (operands, FU latency) are re-attributed to
+        // window pressure when dispatch is simultaneously blocked by a
+        // full ROB/LSQ — so port conflicts stay visible as themselves.
+        let generic = match head.wait {
+            WaitKind::NoPort => return StallCause::DcachePortConflict,
+            WaitKind::MshrFull => return StallCause::MshrFull,
+            WaitKind::ExecMiss => return StallCause::MshrWait,
+            WaitKind::ExecLineBuffer => return StallCause::LineBufferWait,
+            WaitKind::Order => return StallCause::DependencyWait,
+            WaitKind::Fu | WaitKind::Exec => StallCause::FuBusy,
+            WaitKind::Deps => StallCause::DependencyWait,
+        };
+        self.dispatch_blocked_by(now).unwrap_or(generic)
+    }
+
+    /// The empty-ROB half of [`Core::stall_slot_cause`]: nothing is in
+    /// flight, so the lost slots belong to whatever is holding the
+    /// frontend back.
+    fn frontend_cause(&mut self, now: Cycle) -> StallCause {
+        if self.fetch_buffer.front().is_some() {
+            // Fetched but not yet dispatchable: decode latency.
+            return StallCause::FetchStarved;
+        }
+        if self.trace.peek().is_none() {
+            return StallCause::Idle;
+        }
+        if self.fetch_blocked_on_branch {
+            return StallCause::BranchRecovery;
+        }
+        if now < self.fetch_resume_at {
+            return match self.stall_reason {
+                StallReason::Redirect => StallCause::BranchRecovery,
+                StallReason::ICache => StallCause::FetchStarved,
+            };
+        }
+        StallCause::FetchStarved
+    }
+
+    /// Would dispatch refuse the fetch-buffer front this cycle because
+    /// the window or the load/store queue is full? A read-only mirror of
+    /// [`Core::dispatch`]'s first-exit cascade (and of the cycle
+    /// skipper's `DispatchIdle` classification), used to refine generic
+    /// head waits into window-pressure causes.
+    fn dispatch_blocked_by(&self, now: Cycle) -> Option<StallCause> {
+        if self.serialize {
+            return None;
+        }
+        let front = self.fetch_buffer.front()?;
+        if front.available_at > now {
+            return None;
+        }
+        let op = front.di.inst.op;
+        if matches!(op, Op::Syscall | Op::Eret) && !self.rob.is_empty() {
+            return None;
+        }
+        if self.rob.len() >= self.config.rob_entries {
+            return Some(StallCause::RobFull);
+        }
+        if (op.is_load() && !self.lsq.can_accept_load())
+            || (op.is_store() && !self.lsq.can_accept_store())
+        {
+            return Some(StallCause::LsqFull);
+        }
+        None
+    }
+
+    /// Conservation check, compiled to nothing in release builds.
+    #[inline]
+    fn assert_cpi_conservation(&self) {
+        debug_assert_eq!(
+            self.stats.cpi_stack.total(),
+            self.stats.cycles.get() * u64::from(self.config.commit_width),
+            "CPI-stack conservation violated at cycle {}",
+            self.now,
+        );
     }
 
     /// Select: walk the candidate set in age order — the same entries the
@@ -792,15 +916,18 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             match op.class() {
                 OpClass::Load => {
                     if !Self::dep_ready(&self.rob, self.rob[i].addr_seq, now) {
+                        self.rob[i].wait = WaitKind::Deps;
                         continue;
                     }
                     // Address generation needs an AGU whichever path the
                     // data takes.
                     if !self.fu.can_start(OpClass::Load, now) {
+                        self.rob[i].wait = WaitKind::Fu;
                         continue;
                     }
                     match self.gate_load_indexed(i, seq, now) {
                         LoadGate::Wait => {
+                            self.rob[i].wait = WaitKind::Order;
                             self.stats.lsq_order_stalls.inc();
                             continue;
                         }
@@ -811,9 +938,10 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                             let entry = &mut self.rob[i];
                             entry.state = EntryState::Issued;
                             entry.ready_at = now + self.config.lsq_forward_latency;
+                            entry.wait = WaitKind::Exec;
                             self.stats.lsq_forwards.inc();
                             self.tracer
-                                .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
+                                .emit(now, EventKind::Issue, self.rob[i].di.pc, seq as u32);
                             issued += 1;
                             self.finish_issue(i, seq, now);
                         }
@@ -821,21 +949,43 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                             let addr = Addr::new(self.rob[i].di.mem_addr.expect("load address"));
                             let bytes = self.rob[i].di.mem_bytes();
                             match self.mem.try_load(now, addr, bytes) {
-                                LoadOutcome::Ready { at, .. } => {
+                                LoadOutcome::Ready { at, source } => {
                                     self.fu
                                         .try_start(OpClass::Load, now)
                                         .expect("can_start checked");
                                     let entry = &mut self.rob[i];
                                     entry.state = EntryState::Issued;
                                     entry.ready_at = at;
-                                    self.tracer
-                                        .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
+                                    entry.wait = Self::serving_wait(source);
+                                    self.tracer.emit(
+                                        now,
+                                        EventKind::Issue,
+                                        self.rob[i].di.pc,
+                                        seq as u32,
+                                    );
                                     issued += 1;
                                     self.finish_issue(i, seq, now);
                                 }
-                                LoadOutcome::NoPort
-                                | LoadOutcome::MshrFull
-                                | LoadOutcome::Conflict => continue,
+                                LoadOutcome::MshrFull => {
+                                    self.rob[i].wait = WaitKind::MshrFull;
+                                    self.tracer.emit(
+                                        now,
+                                        EventKind::PortRetry,
+                                        self.rob[i].di.pc,
+                                        seq as u32,
+                                    );
+                                    continue;
+                                }
+                                LoadOutcome::NoPort | LoadOutcome::Conflict => {
+                                    self.rob[i].wait = WaitKind::NoPort;
+                                    self.tracer.emit(
+                                        now,
+                                        EventKind::PortRetry,
+                                        self.rob[i].di.pc,
+                                        seq as u32,
+                                    );
+                                    continue;
+                                }
                             }
                         }
                     }
@@ -849,6 +999,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         self.sched.resolve_store(seq);
                     }
                     if !addr_ok {
+                        self.rob[i].wait = WaitKind::Deps;
                         continue;
                     }
                     if !Self::dep_ready(&self.rob, self.rob[i].data_seq, now) {
@@ -857,6 +1008,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         // data producer (registered at dispatch — the
                         // data was unready then too), whose wakeup
                         // re-adds this store.
+                        self.rob[i].wait = WaitKind::Deps;
                         self.sched.remove_candidate(seq);
                         continue;
                     }
@@ -864,15 +1016,19 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         let entry = &mut self.rob[i];
                         entry.state = EntryState::Issued;
                         entry.ready_at = done_at;
+                        entry.wait = WaitKind::Exec;
                         self.tracer
-                            .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
+                            .emit(now, EventKind::Issue, self.rob[i].di.pc, seq as u32);
                         issued += 1;
                         self.finish_issue(i, seq, now);
+                    } else {
+                        self.rob[i].wait = WaitKind::Fu;
                     }
                 }
                 _ => {
                     let deps = self.rob[i].src_seqs;
                     if !deps.iter().all(|&dep| Self::dep_ready(&self.rob, dep, now)) {
+                        self.rob[i].wait = WaitKind::Deps;
                         continue;
                     }
                     if let Some(done_at) = self.fu.try_start(op.class(), now) {
@@ -880,8 +1036,9 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         let entry = &mut self.rob[i];
                         entry.state = EntryState::Issued;
                         entry.ready_at = done_at;
+                        entry.wait = WaitKind::Exec;
                         self.tracer
-                            .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
+                            .emit(now, EventKind::Issue, self.rob[i].di.pc, seq as u32);
                         issued += 1;
                         if mispredicted {
                             // The redirect leaves when the branch resolves.
@@ -893,9 +1050,21 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                             self.wrong_path = None;
                         }
                         self.finish_issue(i, seq, now);
+                    } else {
+                        self.rob[i].wait = WaitKind::Fu;
                     }
                 }
             }
+        }
+    }
+
+    /// The in-flight service class a just-issued load settles into,
+    /// read from where the memory system said it would be served.
+    fn serving_wait(source: LoadSource) -> WaitKind {
+        match source {
+            LoadSource::Miss | LoadSource::MissMerged => WaitKind::ExecMiss,
+            LoadSource::LineBuffer => WaitKind::ExecLineBuffer,
+            _ => WaitKind::Exec,
         }
     }
 
@@ -916,15 +1085,18 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             match op.class() {
                 OpClass::Load => {
                     if !Self::dep_ready(&self.rob, self.rob[i].addr_seq, now) {
+                        self.rob[i].wait = WaitKind::Deps;
                         continue;
                     }
                     // Address generation needs an AGU whichever path the
                     // data takes.
                     if !self.fu.can_start(OpClass::Load, now) {
+                        self.rob[i].wait = WaitKind::Fu;
                         continue;
                     }
                     match Self::gate_load(&self.rob, i, now, self.config.disambiguation) {
                         LoadGate::Wait => {
+                            self.rob[i].wait = WaitKind::Order;
                             self.stats.lsq_order_stalls.inc();
                             continue;
                         }
@@ -935,33 +1107,44 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                             let entry = &mut self.rob[i];
                             entry.state = EntryState::Issued;
                             entry.ready_at = now + self.config.lsq_forward_latency;
+                            entry.wait = WaitKind::Exec;
                             self.stats.lsq_forwards.inc();
-                            self.tracer
-                                .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
-                            issued += 1;
                             let seq = self.rob[i].seq;
+                            self.tracer
+                                .emit(now, EventKind::Issue, self.rob[i].di.pc, seq as u32);
+                            issued += 1;
                             self.issue_log.push((now, seq));
                         }
                         LoadGate::Go => {
                             let addr = Addr::new(self.rob[i].di.mem_addr.expect("load address"));
                             let bytes = self.rob[i].di.mem_bytes();
                             match self.mem.try_load(now, addr, bytes) {
-                                LoadOutcome::Ready { at, .. } => {
+                                LoadOutcome::Ready { at, source } => {
                                     self.fu
                                         .try_start(OpClass::Load, now)
                                         .expect("can_start checked");
                                     let entry = &mut self.rob[i];
                                     entry.state = EntryState::Issued;
                                     entry.ready_at = at;
-                                    self.tracer
-                                        .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
-                                    issued += 1;
+                                    entry.wait = Self::serving_wait(source);
                                     let seq = self.rob[i].seq;
+                                    self.tracer.emit(
+                                        now,
+                                        EventKind::Issue,
+                                        self.rob[i].di.pc,
+                                        seq as u32,
+                                    );
+                                    issued += 1;
                                     self.issue_log.push((now, seq));
                                 }
-                                LoadOutcome::NoPort
-                                | LoadOutcome::MshrFull
-                                | LoadOutcome::Conflict => continue,
+                                LoadOutcome::MshrFull => {
+                                    self.rob[i].wait = WaitKind::MshrFull;
+                                    continue;
+                                }
+                                LoadOutcome::NoPort | LoadOutcome::Conflict => {
+                                    self.rob[i].wait = WaitKind::NoPort;
+                                    continue;
+                                }
                             }
                         }
                     }
@@ -974,22 +1157,27 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         self.rob[i].addr_known_at = Some(now);
                     }
                     if !addr_ok || !Self::dep_ready(&self.rob, self.rob[i].data_seq, now) {
+                        self.rob[i].wait = WaitKind::Deps;
                         continue;
                     }
                     if let Some(done_at) = self.fu.try_start(OpClass::Store, now) {
                         let entry = &mut self.rob[i];
                         entry.state = EntryState::Issued;
                         entry.ready_at = done_at;
-                        self.tracer
-                            .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
-                        issued += 1;
+                        entry.wait = WaitKind::Exec;
                         let seq = self.rob[i].seq;
+                        self.tracer
+                            .emit(now, EventKind::Issue, self.rob[i].di.pc, seq as u32);
+                        issued += 1;
                         self.issue_log.push((now, seq));
+                    } else {
+                        self.rob[i].wait = WaitKind::Fu;
                     }
                 }
                 _ => {
                     let deps = self.rob[i].src_seqs;
                     if !deps.iter().all(|&dep| Self::dep_ready(&self.rob, dep, now)) {
+                        self.rob[i].wait = WaitKind::Deps;
                         continue;
                     }
                     if let Some(done_at) = self.fu.try_start(op.class(), now) {
@@ -997,10 +1185,11 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         let entry = &mut self.rob[i];
                         entry.state = EntryState::Issued;
                         entry.ready_at = done_at;
-                        self.tracer
-                            .emit(now, EventKind::Issue, self.rob[i].di.pc, 0);
-                        issued += 1;
+                        entry.wait = WaitKind::Exec;
                         let seq = self.rob[i].seq;
+                        self.tracer
+                            .emit(now, EventKind::Issue, self.rob[i].di.pc, seq as u32);
+                        issued += 1;
                         self.issue_log.push((now, seq));
                         if mispredicted {
                             // The redirect leaves when the branch resolves.
@@ -1011,6 +1200,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                             self.fetch_blocked_on_branch = false;
                             self.wrong_path = None;
                         }
+                    } else {
+                        self.rob[i].wait = WaitKind::Fu;
                     }
                 }
             }
@@ -1050,6 +1241,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             let fetched = self.fetch_buffer.pop_front().expect("checked above");
             let seq = self.next_seq;
             self.next_seq += 1;
+            self.tracer
+                .emit(now, EventKind::Dispatch, fetched.di.pc, seq as u32);
             let mut entry = RobEntry::new(seq, fetched.di);
             entry.mispredicted = fetched.mispredicted;
 
@@ -1179,7 +1372,12 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 break; // the next block waits for the next cycle
             }
             let di = self.trace.next().expect("peeked above");
-            self.tracer.emit(now, EventKind::Fetch, di.pc, 0);
+            // Fetch buffer and dispatch are strictly FIFO, so the seq
+            // this instruction will receive is already determined:
+            // next_seq plus everything fetched ahead of it.
+            let will_be_seq = self.next_seq + self.fetch_buffer.len() as u64;
+            self.tracer
+                .emit(now, EventKind::Fetch, di.pc, will_be_seq as u32);
             fetched += 1;
             let misprediction = self.predict(now, &di);
             let mispredicted = misprediction.is_some();
@@ -1796,6 +1994,60 @@ mod tests {
     }
 
     #[test]
+    fn cpi_stack_conserves_commit_slots() {
+        let result = run_src(SUM_LOOP, CpuConfig::default(), MemConfig::default());
+        let width = u64::from(CpuConfig::default().commit_width);
+        assert_eq!(result.cpu.cpi_stack.total(), result.cycles * width);
+        assert_eq!(
+            result.cpu.cpi_stack.get(crate::StallCause::Base),
+            result.committed,
+            "one Base slot per committed instruction"
+        );
+    }
+
+    #[test]
+    fn port_conflicts_show_up_in_the_cpi_stack() {
+        // Four independent cache-resident loads per iteration against a
+        // single port: the conflict retries must be attributed.
+        let src = r#"
+            .data
+            buf: .space 1024
+            .text
+            main:
+                li   s1, 20
+            outer:
+                la   t0, buf
+                li   t1, 32
+            loop:
+                ld   a0, 0(t0)
+                ld   a1, 8(t0)
+                ld   a2, 16(t0)
+                ld   a3, 24(t0)
+                addi t0, t0, 32
+                addi t1, t1, -1
+                bnez t1, loop
+                addi s1, s1, -1
+                bnez s1, outer
+                halt
+        "#;
+        let one = run_src(src, CpuConfig::default(), MemConfig::default());
+        let mut dual = MemConfig::default();
+        dual.ports.count = 2;
+        let two = run_src(src, CpuConfig::default(), dual);
+        let cause = crate::StallCause::DcachePortConflict;
+        assert!(
+            one.cpu.cpi_stack.get(cause) > 0,
+            "a single port under four loads/iteration must conflict"
+        );
+        assert!(
+            one.cpu.cpi_stack.get(cause) > two.cpu.cpi_stack.get(cause),
+            "the second port must absorb conflict slots: {} vs {}",
+            one.cpu.cpi_stack.get(cause),
+            two.cpu.cpi_stack.get(cause)
+        );
+    }
+
+    #[test]
     fn max_inst_cap_stops_early() {
         let program = assemble(SUM_LOOP).unwrap();
         let core = Core::new(
@@ -1909,7 +2161,10 @@ mod oracle_props {
         src
     }
 
-    /// Everything the two paths must agree on.
+    /// Everything the two paths must agree on. The CPI stack rides
+    /// along: the oracle path never cycle-skips while the event path
+    /// does, so stack equality proves the bulk-record attribution is
+    /// exactly what per-cycle stepping would have produced.
     #[derive(Debug, PartialEq, Eq)]
     struct RunLog {
         issues: Vec<(Cycle, u64)>,
@@ -1918,6 +2173,7 @@ mod oracle_props {
         committed: u64,
         order_stalls: u64,
         forwards: u64,
+        cpi: crate::cpi::CpiStack,
     }
 
     fn run_mode(src: &str, window: usize, policy: Disambiguation, oracle: bool) -> RunLog {
@@ -1934,6 +2190,17 @@ mod oracle_props {
         );
         core.oracle = oracle;
         while core.step() {}
+        // The conservation invariant, on every generated program.
+        assert_eq!(
+            core.stats.cpi_stack.total(),
+            core.stats.cycles.get() * u64::from(core.config.commit_width),
+            "CPI stack must sum to cycles × commit_width"
+        );
+        assert_eq!(
+            core.stats.cpi_stack.get(StallCause::Base),
+            core.stats.committed.get(),
+            "every committed instruction is one Base slot"
+        );
         RunLog {
             issues: core.issue_log,
             commits: core.commit_log,
@@ -1941,6 +2208,7 @@ mod oracle_props {
             committed: core.stats.committed.get(),
             order_stalls: core.stats.lsq_order_stalls.get(),
             forwards: core.stats.lsq_forwards.get(),
+            cpi: core.stats.cpi_stack.clone(),
         }
     }
 

@@ -43,6 +43,7 @@
 pub mod bpred;
 mod config;
 mod core;
+mod cpi;
 mod fu;
 mod lsq;
 mod rob;
@@ -52,10 +53,11 @@ mod watchdog;
 
 pub use config::{CpuConfig, DirPredictorKind, Disambiguation, FuConfig, FuSpec};
 pub use core::{Core, SimResult};
+pub use cpi::{CpiStack, StallCause};
 // The functional emulator lives with the ISA semantics in `cpe-isa`;
 // re-exported here because it is one half of every simulation.
 pub use cpe_isa::{EmuError, Emulator, SparseMem};
 pub use fu::FuPool;
-pub use rob::{EntryState, RobEntry};
+pub use rob::{EntryState, RobEntry, WaitKind};
 pub use stats::CpuStats;
 pub use watchdog::WatchdogReport;

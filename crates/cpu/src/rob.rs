@@ -3,6 +3,32 @@
 use cpe_isa::DynInst;
 use cpe_mem::Cycle;
 
+/// Why an entry is not making progress — recorded each time the issue
+/// stage examines it (and, once issued, what is serving it), so commit
+/// can attribute the head's stalled cycles to a cause without replaying
+/// the issue logic. See `cpe_cpu::cpi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Operands (or a store's address/data) not yet ready. The dispatch
+    /// default: an entry the issue stage has never examined waits here.
+    Deps,
+    /// A load held back by the memory-ordering disambiguation gate.
+    Order,
+    /// A functional unit (or AGU) was busy.
+    Fu,
+    /// A load lost data-cache port arbitration (no slot, or a bank
+    /// conflict) and will retry.
+    NoPort,
+    /// A load needed a fresh MSHR and none was free.
+    MshrFull,
+    /// Issued; an ALU/branch/L1-class latency is in flight.
+    Exec,
+    /// Issued; the load is being served by an outstanding miss.
+    ExecMiss,
+    /// Issued; the load is being served from a line buffer.
+    ExecLineBuffer,
+}
+
 /// Progress of one in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EntryState {
@@ -41,6 +67,9 @@ pub struct RobEntry {
     /// Fetch-time annotation: the direction/target prediction was wrong,
     /// so fetch is blocked until this entry resolves.
     pub mispredicted: bool,
+    /// Latest stall reason observed by the issue stage (execution-service
+    /// class once issued). Feeds commit-slot attribution.
+    pub wait: WaitKind,
     /// Wakeup list: sequence numbers of younger consumers to re-evaluate
     /// when this entry's result becomes available. Maintained by the
     /// event-driven scheduler; drained exactly once, at `ready_at`.
@@ -60,6 +89,7 @@ impl RobEntry {
             ready_at: 0,
             addr_known_at: None,
             mispredicted: false,
+            wait: WaitKind::Deps,
             waiters: Vec::new(),
         }
     }

@@ -1,5 +1,6 @@
 //! Processor-core statistics.
 
+use crate::cpi::CpiStack;
 use cpe_stats::{Counter, Histogram, Ratio};
 
 /// Counters maintained by the timing core.
@@ -68,6 +69,12 @@ pub struct CpuStats {
     pub lsq_occupancy: Histogram,
     /// Instructions committed per cycle.
     pub commits_per_cycle: Histogram,
+    /// Commit-slot cycle accounting: every slot of every cycle attributed
+    /// to exactly one cause. Components sum to `cycles × commit_width`.
+    pub cpi_stack: CpiStack,
+    /// Maximum commits per cycle — the slot width of the conservation
+    /// contract above.
+    pub commit_width: u64,
 }
 
 impl CpuStats {
@@ -101,6 +108,8 @@ impl CpuStats {
             rob_occupancy: Histogram::new(rob_entries),
             lsq_occupancy: Histogram::new(lsq_entries),
             commits_per_cycle: Histogram::new(commit_width),
+            cpi_stack: CpiStack::new(),
+            commit_width: commit_width as u64,
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Every sweep cell and every `cpe serve` job is a pure function of its
 //! inputs: the [`SimConfig`], the workload, the scale, and the
-//! instruction window. The cache therefore keys each schema-2 metrics
+//! instruction window. The cache therefore keys each schema-stamped metrics
 //! document by a stable 64-bit FNV-1a hash of the **canonical** JSON
 //! encoding of those inputs — canonical meaning object members are
 //! sorted recursively before hashing, so two encodings of the same
@@ -300,6 +300,41 @@ mod tests {
         let mut other = base;
         other.max_insts = None;
         assert_ne!(key, CacheKey::for_job(&other));
+    }
+
+    #[test]
+    fn a_schema_bump_invalidates_stale_entries() {
+        // Reconstruct the key derivation by hand for the current schema
+        // and for the previous one. The rebuilt current-schema key must
+        // match `for_job` exactly (proving the reconstruction is
+        // faithful), and the previous-schema key must differ — so a
+        // cache populated by an older build misses cleanly after a
+        // METRICS_SCHEMA bump, with no migration step.
+        let base = job(SimConfig::dual_port());
+        let current = CacheKey::for_job(&base);
+        let config = canonical_json(&config_json(&base.config)).unwrap();
+        let key_doc = |metrics_schema: u32| {
+            format!(
+                "{{\"cache_schema\":{CACHE_SCHEMA},\"metrics_schema\":{metrics_schema},\
+                 \"config\":{config},\"workload\":\"sort\",\"scale\":\"test\",\
+                 \"max_insts\":5000}}"
+            )
+        };
+        assert_eq!(
+            current,
+            CacheKey(fnv1a64(key_doc(METRICS_SCHEMA).as_bytes()))
+        );
+        let stale = CacheKey(fnv1a64(key_doc(METRICS_SCHEMA - 1).as_bytes()));
+        assert_ne!(current, stale, "schema bump must change the address");
+
+        let dir = tempdir("schema-bump");
+        let cache = ResultCache::new(&dir);
+        cache.store(&stale, "{\"schema\":2}").unwrap();
+        assert!(
+            cache.lookup(&current).is_none(),
+            "a stale-schema entry must never serve a current-schema job"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

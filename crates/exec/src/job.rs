@@ -70,7 +70,7 @@ pub fn workload_by_name(name: &str) -> Option<Workload> {
 }
 
 /// One independent unit of work: run `config` on `workload` and produce
-/// the schema-2 metrics document.
+/// the schema-stamped metrics document.
 #[derive(Debug, Clone)]
 pub struct Job {
     /// The machine configuration.

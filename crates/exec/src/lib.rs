@@ -12,7 +12,7 @@
 //! - [`cache`]: an on-disk result cache addressed by an FNV-1a hash of
 //!   the canonical (key-sorted) configuration JSON plus workload, scale,
 //!   instruction window, and schema versions. A cache hit returns the
-//!   byte-identical schema-2 metrics document a fresh run would produce.
+//!   byte-identical schema-stamped metrics document a fresh run would produce.
 //! - [`job`]: the `(SimConfig, workload)` unit of work with panic
 //!   isolation and hoisted config validation.
 //! - [`sweep`]: the cached, parallel grid behind `cpe sweep`.

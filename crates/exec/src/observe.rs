@@ -489,7 +489,7 @@ impl std::fmt::Display for WorkerReport {
     }
 }
 
-/// One [`Log2Histogram`] as the JSON shape the schema-2 documents use
+/// One [`Log2Histogram`] as the JSON shape the metrics documents use
 /// (`count`/`mean`/`max`/percentiles/`buckets`).
 pub(crate) fn log2hist_json(hist: &Log2Histogram) -> String {
     let opt = |value: Option<u64>| match value {

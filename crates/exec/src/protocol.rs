@@ -59,7 +59,7 @@ use crate::render::{
 /// directions.
 pub const FABRIC_SCHEMA: u32 = 1;
 
-/// Default cap on one protocol line. Result frames embed a full schema-2
+/// Default cap on one protocol line. Result frames embed a full schema-stamped
 /// metrics document (tens of KiB); anything near this cap is garbage.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 1024 * 1024;
 
@@ -293,7 +293,7 @@ pub enum WorkerFrame {
         cache: String,
         /// Wall seconds the job cost the worker.
         wall_seconds: f64,
-        /// The schema-2 metrics document, re-rendered canonically.
+        /// The schema-stamped metrics document, re-rendered canonically.
         document: String,
     },
     /// The leased job failed on the worker.
@@ -665,7 +665,7 @@ mod tests {
                 lease: 3,
                 cache: "miss".to_string(),
                 wall_seconds: 0.0413,
-                document: "{\"schema\":2,\"summary\":{\"ipc\":1.5}}".to_string(),
+                document: "{\"schema\":3,\"summary\":{\"ipc\":1.5}}".to_string(),
             },
             WorkerFrame::Nack {
                 lease: 4,

@@ -2,7 +2,7 @@
 //!
 //! One request per line, one response per line. A request names a
 //! workload and either a preset configuration or a preset plus
-//! overrides; the response carries the cached-or-computed schema-2
+//! overrides; the response carries the cached-or-computed schema-stamped
 //! metrics document, the cache disposition, and the job's wall time:
 //!
 //! ```text
@@ -499,7 +499,7 @@ mod tests {
             reply.line
         );
         assert!(reply.line.contains("\"wall_ms\":"), "{}", reply.line);
-        assert!(reply.line.contains("\"result\":{\"schema\":2,"));
+        assert!(reply.line.contains("\"result\":{\"schema\":3,"));
         let parsed = parse(&reply.line).expect("response is one JSON object");
         assert_eq!(
             crate::render::text_at(&parsed, &["result", "summary", "workload"]),

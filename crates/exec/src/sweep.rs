@@ -313,9 +313,9 @@ impl SweepResults {
     }
 
     /// The aggregate sweep document: grid shape plus each cell's
-    /// deterministic `summary` and `distributions` objects (never the
-    /// self-profile or wall times, which vary run to run). Byte-identical
-    /// across worker counts and cache states.
+    /// deterministic `summary`, `distributions` and `cpi_stack` objects
+    /// (never the self-profile or wall times, which vary run to run).
+    /// Byte-identical across worker counts and cache states.
     pub fn aggregate_json(&self) -> String {
         let configs: Vec<String> = self
             .plan
@@ -345,9 +345,11 @@ impl SweepResults {
                     Ok(document) => {
                         let summary = member(document, "summary").map(render);
                         let distributions = member(document, "distributions").map(render);
-                        match (summary, distributions) {
-                            (Some(summary), Some(distributions)) => format!(
-                                "{head},\"summary\":{summary},\"distributions\":{distributions}}}"
+                        let cpi_stack = member(document, "cpi_stack").map(render);
+                        match (summary, distributions, cpi_stack) {
+                            (Some(summary), Some(distributions), Some(cpi_stack)) => format!(
+                                "{head},\"summary\":{summary},\"distributions\":{distributions},\
+                                 \"cpi_stack\":{cpi_stack}}}"
                             ),
                             _ => format!("{head},\"failed\":\"malformed\"}}"),
                         }
@@ -391,10 +393,11 @@ mod tests {
         assert_eq!(table.len(), 3, "two workloads + geomean");
         let doc = results.aggregate_json();
         let parsed = parse(&doc).expect("aggregate parses");
-        assert_eq!(number_at(&parsed, &["schema"]), Some(2.0));
+        assert_eq!(number_at(&parsed, &["schema"]), Some(3.0));
         assert!(doc.contains("\"kind\":\"sweep\""));
         assert!(doc.contains("\"summary\":{"));
         assert!(doc.contains("\"distributions\":{"));
+        assert!(doc.contains("\"cpi_stack\":{\"commit_width\":"));
         assert!(!doc.contains("self_profile"), "no nondeterministic fields");
         assert!(!doc.contains("wall_seconds"), "no nondeterministic fields");
     }

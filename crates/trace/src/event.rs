@@ -9,12 +9,21 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
-    /// An instruction entered the fetch buffer (`addr` = pc).
+    /// An instruction entered the fetch buffer (`addr` = pc, `arg` = low
+    /// 32 bits of the sequence number dispatch will assign it).
     Fetch,
+    /// An instruction entered the reorder buffer (`addr` = pc, `arg` =
+    /// low 32 bits of its sequence number).
+    Dispatch,
     /// An instruction left the window for a functional unit or the cache
-    /// (`addr` = pc, `arg` = operation-class code).
+    /// (`addr` = pc, `arg` = low 32 bits of its sequence number).
     Issue,
-    /// An instruction retired from the ROB head (`addr` = pc).
+    /// An instruction's result became available. Emitted at issue time
+    /// but stamped with the *completion* cycle (`addr` = pc, `arg` = low
+    /// 32 bits of its sequence number) — the one future-dated kind.
+    Complete,
+    /// An instruction retired from the ROB head (`addr` = pc, `arg` =
+    /// low 32 bits of its sequence number).
     Commit,
     /// A load took a real port slot (`addr` = address, `arg` =
     /// [`PORT_GRANT_L1_HIT`](crate::PORT_GRANT_L1_HIT)-family source code).
@@ -51,6 +60,12 @@ pub enum EventKind {
     StoreReject,
     /// A buffered store drained through an idle port slot.
     StoreDrain,
+    /// A ready load was turned away at issue — port/bank conflict or
+    /// MSHR exhaustion — and will retry (`addr` = pc, `arg` = low 32
+    /// bits of its sequence number). The core-side mirror of
+    /// [`EventKind::PortConflict`]: that one carries the data address,
+    /// this one ties the retry to the instruction for pipeview lanes.
+    PortRetry,
     /// The livelock watchdog fired; `addr` = stalled ROB-head pc (0 when
     /// the ROB was empty), `arg` = ROB occupancy.
     WatchdogSnapshot,
@@ -68,9 +83,11 @@ pub const PORT_GRANT_MISS: u32 = 3;
 
 impl EventKind {
     /// Every kind, in declaration order — handy for tests and legends.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::Fetch,
+        EventKind::Dispatch,
         EventKind::Issue,
+        EventKind::Complete,
         EventKind::Commit,
         EventKind::PortGrant,
         EventKind::PortConflict,
@@ -87,6 +104,7 @@ impl EventKind {
         EventKind::StoreCombine,
         EventKind::StoreReject,
         EventKind::StoreDrain,
+        EventKind::PortRetry,
         EventKind::WatchdogSnapshot,
     ];
 
@@ -94,7 +112,9 @@ impl EventKind {
     pub fn name(self) -> &'static str {
         match self {
             EventKind::Fetch => "fetch",
+            EventKind::Dispatch => "dispatch",
             EventKind::Issue => "issue",
+            EventKind::Complete => "complete",
             EventKind::Commit => "commit",
             EventKind::PortGrant => "port_grant",
             EventKind::PortConflict => "port_conflict",
@@ -111,6 +131,7 @@ impl EventKind {
             EventKind::StoreCombine => "store_combine",
             EventKind::StoreReject => "store_reject",
             EventKind::StoreDrain => "store_drain",
+            EventKind::PortRetry => "port_retry",
             EventKind::WatchdogSnapshot => "watchdog_snapshot",
         }
     }
@@ -119,8 +140,15 @@ impl EventKind {
     /// sink, so related events render as one track.
     pub fn category(self) -> &'static str {
         match self {
-            EventKind::Fetch | EventKind::Issue | EventKind::Commit => "pipeline",
-            EventKind::PortGrant | EventKind::PortConflict | EventKind::BankConflict => "port",
+            EventKind::Fetch
+            | EventKind::Dispatch
+            | EventKind::Issue
+            | EventKind::Complete
+            | EventKind::Commit => "pipeline",
+            EventKind::PortGrant
+            | EventKind::PortConflict
+            | EventKind::BankConflict
+            | EventKind::PortRetry => "port",
             EventKind::LineBufferHit
             | EventKind::LoadCombine
             | EventKind::StoreForward

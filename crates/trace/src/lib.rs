@@ -22,6 +22,7 @@
 
 mod event;
 mod handle;
+mod pipeview;
 mod ring;
 mod sink;
 
@@ -30,5 +31,8 @@ pub use event::{
     PORT_GRANT_VICTIM_HIT,
 };
 pub use handle::TraceHandle;
+pub use pipeview::{
+    build_records, konata_text, validate_konata, InstRecord, KonataSummary, KONATA_HEADER,
+};
 pub use ring::{RingStats, Tracer};
 pub use sink::{chrome_trace_json, jsonl_record, ChromeTraceSink, JsonlSink, NullSink, TraceSink};

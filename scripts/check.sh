@@ -41,11 +41,11 @@ cargo run --release --bin cpe -q -- diff "$bench_out" "$bench_out" \
 
 # Soft perf gate: five bench runs at the baseline's instruction window,
 # median total throughput compared against the best committed
-# BENCH_baseline*.json. The tolerance is deliberately generous (45% of
-# baseline) — wall time on a shared box is noisy, and this gate exists
-# to catch order-of-magnitude regressions (an accidental debug path, a
-# quadratic loop), not percent-level drift. The median run is archived
-# as BENCH_latest.json (gitignored) for eyeballing finer drift.
+# BENCH_baseline*.json. The tolerance is generous (60% of baseline) —
+# wall time on a shared box is noisy, and this gate exists to catch
+# gross regressions (an accidental debug path, a quadratic loop), not
+# percent-level drift. The median run is archived as BENCH_latest.json
+# (gitignored) for eyeballing finer drift.
 echo "== bench perf gate: median-of-5 vs committed baseline" >&2
 median_line="$(for i in 1 2 3 4 5; do
     cargo run --release --bin cpe -q -- bench --name check-perf \
@@ -66,13 +66,17 @@ for baseline in BENCH_baseline*.json; do
     baseline_rate="$(awk -v a="$baseline_rate" -v b="$rate" \
         'BEGIN{print (b > a) ? b : a}')"
 done
+ratio="$(awk -v median="$median_rate" -v baseline="$baseline_rate" \
+    'BEGIN{printf "%.2f", (baseline > 0) ? median / baseline : 0}')"
 awk -v median="$median_rate" -v baseline="$baseline_rate" \
-    'BEGIN{exit !(median >= 0.45 * baseline)}' || {
-    echo "perf gate: median $median_rate cycles/s is below 45% of the" \
-         "baseline $baseline_rate — investigate before merging" >&2
+    'BEGIN{exit !(median >= 0.60 * baseline)}' || {
+    echo "perf gate: median $median_rate cycles/s is below 60% of the" \
+         "baseline $baseline_rate (ratio $ratio) — investigate before" \
+         "merging" >&2
     exit 1
 }
-echo "   median $median_rate cycles/s vs baseline $baseline_rate" >&2
+echo "   median $median_rate cycles/s vs baseline $baseline_rate" \
+     "(ratio $ratio, gate 0.60)" >&2
 
 # Golden-metrics gate: the event-driven scheduler must be invisible in
 # every architectural counter. GOLDEN_metrics.json pins a two-config
@@ -111,6 +115,20 @@ grep -q "hit rate 100.0%" "$scratch/rerun.log" || {
 cmp "$scratch/table1.txt" "$scratch/table2.txt"
 cargo run --release --bin cpe -q -- diff "$scratch/sweep1.json" \
     "$scratch/sweep2.json" --tolerance 0 >/dev/null
+
+# Cycle-accounting gate (see docs/OBSERVABILITY.md "CPI stacks"): every
+# cpi_stack in the fresh golden document and the smoke-sweep document
+# must conserve commit slots exactly — sum(causes) == total ==
+# cycles × commit_width, integer equality, no tolerance. Then the
+# per-instruction pipeline view must round-trip: a pipeview export over
+# a traced run has to pass the Konata validator.
+echo "== CPI stacks conserve + pipeview Konata artifact" >&2
+cargo run --release --bin cpe -q -- validate --cpi \
+    "$scratch/golden_fresh.json" "$scratch/sweep1.json" >/dev/null
+cargo run --release --bin cpe -q -- pipeview --workload compress \
+    --max 2000 -o "$scratch/pipe.kanata" >/dev/null
+cargo run --release --bin cpe -q -- validate "$scratch/pipe.kanata" \
+    >/dev/null
 
 # Fabric gate (see docs/EXECUTION.md "The sweep fabric"): the same grid
 # leased out over TCP to two local workers, with one of them SIGKILLed

@@ -12,6 +12,13 @@
 //!                                   trace-event capture, self-profile
 //! cpe compare <file.s> [--max N] [--metrics-json FILE]
 //!                                   run every design point, print a table
+//! cpe explain <CONFIG_A> <CONFIG_B> [--workload NAME] [--scale S] [--max N]
+//!                                   run both configs and rank the per-cause
+//!                                   CPI deltas: where do the cycles go?
+//! cpe pipeview --workload NAME [--config NAME] [--scale S] [--max N]
+//!              [--ring N] [-o FILE]
+//!                                   per-instruction pipeline view of the
+//!                                   newest retained window, Konata format
 //! cpe record <file.s> -o <trace>    record the executed path to a trace file
 //! cpe replay <trace> [--config NAME] [--max N]
 //!                                   run the timing model over a recorded trace
@@ -36,8 +43,12 @@
 //! cpe status --connect ADDR [--timeout-ms N]
 //!                                   query a live coordinator mid-sweep:
 //!                                   progress counts plus a per-worker table
-//! cpe validate <file>... [--jsonl]  parse observability artifacts (JSON or
-//!                                   JSONL); exit 2 on any malformed input
+//! cpe validate <file>... [--jsonl] [--cpi]
+//!                                   parse observability artifacts (JSON,
+//!                                   JSONL, or Konata pipeviews) and check
+//!                                   CPI-stack conservation at zero
+//!                                   tolerance; exit 2 on any malformed or
+//!                                   slot-leaking input
 //! cpe fuzz-fabric [--cases N] [--seed S]
 //!                                   seeded chaos runs of the sweep fabric;
 //!                                   exit 1 if any diverges from serial
@@ -69,7 +80,7 @@ use cpe::exec::{
 use cpe::isa::trace_io::{write_trace, TraceReader};
 use cpe::isa::{asm::assemble, Emulator, Program};
 use cpe::stats::Table;
-use cpe::trace::{chrome_trace_json, jsonl_record, TraceHandle};
+use cpe::trace::{build_records, chrome_trace_json, jsonl_record, konata_text, TraceHandle};
 use cpe::workloads::{Scale, Workload};
 use cpe::{
     diff_json, faultinject, profile_json, BenchReport, ProfileOptions, ProfiledRun, SimConfig,
@@ -344,6 +355,99 @@ fn cmd_compare(path: &str, max: Option<u64>, metrics_json: Option<String>) -> Re
             ),
         )?;
         println!("wrote metrics for {} configs to {out}", runs.len());
+    }
+    Ok(())
+}
+
+/// Positional (non-flag) arguments, skipping the operands of value flags.
+fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut index = 0;
+    while index < args.len() {
+        let arg = args[index].as_str();
+        if value_flags.contains(&arg) {
+            index += 2;
+        } else if arg.starts_with('-') {
+            index += 1;
+        } else {
+            out.push(&args[index]);
+            index += 1;
+        }
+    }
+    out
+}
+
+fn named_config(name: &str) -> Result<SimConfig, String> {
+    match name {
+        "combined_single_port" => Ok(SimConfig::combined_single_port()),
+        other => config_by_name(other)
+            .ok_or_else(|| format!("unknown config `{other}` (see `cpe configs`)")),
+    }
+}
+
+/// `cpe explain A B`: run both configurations on the same workload and
+/// rank the per-cause CPI deltas. The CPI stacks conserve commit slots,
+/// so the table accounts for the whole performance gap — on a port-bound
+/// workload the `dcache_port_conflict` row is the headline.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let names = positionals(args, &["--workload", "--scale", "--max"]);
+    let [a_name, b_name] = names[..] else {
+        return Err(format!(
+            "explain needs exactly two config names (see `cpe configs`)\n\n{}",
+            usage()
+        ));
+    };
+    let a_config = named_config(a_name)?;
+    let b_config = named_config(b_name)?;
+    let workload_name = parse_flag(args, "--workload").unwrap_or_else(|| "compress".to_string());
+    let workload = workload_by_name(&workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}` (see `cpe workloads`)"))?;
+    let scale = parse_scale(args)?;
+    let max = Some(parse_number(args, "--max")?.unwrap_or(20_000));
+    let a = Simulator::new(a_config).run(workload, scale, max);
+    let b = Simulator::new(b_config).run(workload, scale, max);
+    println!("{}", cpe::explain_report(&a, &b));
+    Ok(())
+}
+
+/// `cpe pipeview`: profile a workload with event capture on and render
+/// the retained window as per-instruction lifecycles in the Konata
+/// pipeline-viewer text format.
+fn cmd_pipeview(args: &[String]) -> Result<(), String> {
+    let workload_name = parse_flag(args, "--workload")
+        .ok_or_else(|| format!("pipeview needs --workload NAME\n\n{}", usage()))?;
+    let workload = workload_by_name(&workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}` (see `cpe workloads`)"))?;
+    let scale = parse_scale(args)?;
+    let config = resolve_config(parse_flag(args, "--config"))?;
+    let max = parse_number(args, "--max")?;
+    let defaults = ProfileOptions::default();
+    let options = ProfileOptions {
+        ring_capacity: parse_number(args, "--ring")?.unwrap_or(defaults.ring_capacity),
+        ..defaults
+    };
+    let out = parse_flag(args, "-o").unwrap_or_else(|| "pipeview.kanata".to_string());
+    let sim = Simulator::new(config);
+    let run = sim
+        .try_profile(workload, scale, max, options)
+        .map_err(|error| format!("{workload_name}: {error}"))?;
+    let records = build_records(&run.events);
+    write_file(&out, &konata_text(&records))?;
+    println!(
+        "wrote {} instruction lifecycle(s) to {out} \
+         (Konata format: https://github.com/shioyadan/Konata)",
+        records.len()
+    );
+    if !TraceHandle::CAPTURE {
+        println!("note: built without the `trace` feature — no events were captured");
+    } else if let Some(ring) = &run.self_profile.ring {
+        if ring.dropped > 0 {
+            println!(
+                "note: ring dropped {} event(s); the view covers the newest \
+                 window (grow it with --ring)",
+                ring.dropped
+            );
+        }
     }
     Ok(())
 }
@@ -657,10 +761,15 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
 }
 
 /// `cpe validate FILE...`: parse observability artifacts — fabric JSONL
-/// event logs (by `--jsonl` or a `.jsonl` suffix) line by line, anything
-/// else as one JSON document. Any malformed input is a hard error.
+/// event logs (by `--jsonl` or a `.jsonl` suffix) line by line, Konata
+/// pipeviews (by their `Kanata` header or a `.kanata` suffix)
+/// structurally, anything else as one JSON document. Any malformed input
+/// is a hard error; JSON documents that embed `cpi_stack` objects are
+/// additionally checked for exact commit-slot conservation, and `--cpi`
+/// makes the *absence* of a stack an error too.
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let jsonl_flag = args.iter().any(|arg| arg == "--jsonl");
+    let cpi_flag = args.iter().any(|arg| arg == "--cpi");
     let paths: Vec<&String> = args.iter().filter(|arg| !arg.starts_with('-')).collect();
     if paths.is_empty() {
         return Err(format!("validate needs at least one FILE\n\n{}", usage()));
@@ -679,9 +788,28 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
                 lines += 1;
             }
             println!("{path}: ok ({lines} event line(s))");
+        } else if contents.starts_with("Kanata\t") || path.ends_with(".kanata") {
+            let summary = cpe::trace::validate_konata(&contents)
+                .map_err(|error| format!("{path}: {error}"))?;
+            println!(
+                "{path}: ok (Konata pipeview, {} instruction(s), {} retired, last cycle {})",
+                summary.instructions, summary.retired, summary.last_cycle
+            );
         } else {
             cpe::exec::render::parse(&contents).map_err(|error| format!("{path}: {error}"))?;
-            println!("{path}: ok");
+            if cpi_flag || contents.contains("\"cpi_stack\"") {
+                let doc = cpe::parse_json(&contents).map_err(|error| format!("{path}: {error}"))?;
+                let checked =
+                    cpe::validate_cpi_stacks(&doc).map_err(|error| format!("{path}: {error}"))?;
+                if cpi_flag && checked == 0 {
+                    return Err(format!(
+                        "{path}: --cpi given but the document has no cpi_stack object"
+                    ));
+                }
+                println!("{path}: ok ({checked} CPI stack(s) conserve commit slots)");
+            } else {
+                println!("{path}: ok");
+            }
         }
     }
     Ok(())
@@ -858,6 +986,9 @@ fn usage() -> &'static str {
      --workload NAME [--config NAME] [--scale test|small|full] [--max N]\n              \
      [--interval N] [--ring N] [--trace-out FILE] [--trace-format chrome|jsonl]\n              \
      [--metrics-json FILE]\n  cpe compare <file.s> [--max N] [--metrics-json FILE]\n  \
+     cpe explain <CONFIG_A> <CONFIG_B> [--workload NAME] [--scale S] [--max N]\n  \
+     cpe pipeview --workload NAME [--config NAME] [--scale S] [--max N]\n               \
+     [--ring N] [-o FILE]\n  \
      cpe record <file.s> -o <trace>\n  cpe replay <trace> [--config NAME] [--max N]\n  \
      cpe fuzz-trace [--cases N] [--seed S] [--config NAME]\n  \
      cpe bench [--name N] [--config NAME] [--max N] [--out FILE] [--jobs N]\n  \
@@ -867,7 +998,7 @@ fn usage() -> &'static str {
      [--fabric-log FILE] [--fabric-trace FILE] [--fabric-metrics FILE]]\n  \
      cpe worker --connect ADDR [--name NAME] [--no-cache] [--cache-dir DIR]\n  \
      cpe status --connect ADDR [--timeout-ms N]\n  \
-     cpe validate <file.json|file.jsonl>... [--jsonl]\n  \
+     cpe validate <file.json|file.jsonl|file.kanata>... [--jsonl] [--cpi]\n  \
      cpe fuzz-fabric [--cases N] [--seed S]\n  \
      cpe cache stats|clear [--cache-dir DIR]\n  \
      cpe serve (--stdin | --listen ADDR) [--no-cache] [--cache-dir DIR]\n            \
@@ -937,6 +1068,18 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                 parse_flag(args, "--metrics-json"),
             ))
         }
+        Some("explain") => {
+            reject_unknown_flags(&args[1..], &["--workload", "--scale", "--max"], &[])?;
+            done(cmd_explain(&args[1..]))
+        }
+        Some("pipeview") => {
+            reject_unknown_flags(
+                &args[1..],
+                &["--workload", "--config", "--scale", "--max", "--ring", "-o"],
+                &[],
+            )?;
+            done(cmd_pipeview(&args[1..]))
+        }
         Some("record") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &["-o"], &[])?;
             let output = parse_flag(args, "-o").unwrap_or_else(|| "trace.cpet".to_string());
@@ -988,7 +1131,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
             done(cmd_status(args))
         }
         Some("validate") if args.len() >= 2 => {
-            reject_unknown_flags(&args[1..], &[], &["--jsonl"])?;
+            reject_unknown_flags(&args[1..], &[], &["--jsonl", "--cpi"])?;
             done(cmd_validate(&args[1..]))
         }
         Some("worker") => {

@@ -37,10 +37,11 @@
 //! ```
 
 pub use cpe_core::{
-    config_json, detailed_report, diff_json, faultinject, parse_json, peak_rss_bytes, profile_json,
-    summary_json, BenchEntry, BenchReport, ConfigError, DiffEntry, DiffReport, EpochMetrics,
-    Experiment, JsonValue, MetricsSeries, ProfileOptions, ProfiledRun, ResultRow, RunSummary,
-    SelfProfile, SimConfig, SimError, Simulator, METRICS_SCHEMA,
+    config_json, detailed_report, diff_json, explain_report, faultinject, parse_json,
+    peak_rss_bytes, profile_json, summary_json, validate_cpi_stacks, BenchEntry, BenchReport,
+    ConfigError, CpiStack, DiffEntry, DiffReport, EpochMetrics, Experiment, JsonValue,
+    MetricsSeries, ProfileOptions, ProfiledRun, ResultRow, RunSummary, SelfProfile, SimConfig,
+    SimError, Simulator, StallCause, METRICS_SCHEMA,
 };
 
 /// The miniature RISC ISA: instructions, assembler, functional emulator.

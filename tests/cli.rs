@@ -292,7 +292,7 @@ fn run_metrics_json_is_self_describing() {
     assert!(stdout.contains("IPC"), "{stdout}");
 
     let doc = std::fs::read_to_string(&metrics).unwrap();
-    assert!(doc.contains("\"schema\":2"), "{doc}");
+    assert!(doc.contains("\"schema\":3"), "{doc}");
     // The document embeds the full machine configuration it was run on.
     assert!(doc.contains("\"config\""), "{doc}");
     assert!(doc.contains("\"name\":\"1-port combined\""), "{doc}");
@@ -619,7 +619,7 @@ fn serve_stdin_answers_requests_and_reports_cache_status() {
     assert!(lines[0].contains("\"cache\":\"bypass\""), "{}", lines[0]);
     assert!(lines[0].contains("\"wall_ms\":"), "{}", lines[0]);
     assert!(
-        lines[0].contains("\"result\":{\"schema\":2"),
+        lines[0].contains("\"result\":{\"schema\":3"),
         "{}",
         lines[0]
     );

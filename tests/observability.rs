@@ -105,7 +105,7 @@ fn micro_trace_conflict_retry_line_buffer_hit() {
 fn counter_fingerprint(summary: &cpe::RunSummary) -> Vec<(&'static str, u64)> {
     let cpu = &summary.raw.cpu;
     let mem = &summary.raw.mem;
-    vec![
+    let mut fingerprint = vec![
         ("cycles", summary.cycles),
         ("insts", summary.insts),
         ("ipc_bits", summary.ipc.to_bits()),
@@ -126,7 +126,14 @@ fn counter_fingerprint(summary: &cpe::RunSummary) -> Vec<(&'static str, u64)> {
         ("l2_misses", mem.l2_misses.get()),
         ("mispredicts", cpu.mispredicts.get()),
         ("lsq_forwards", cpu.lsq_forwards.get()),
-    ]
+        ("commit_width", cpu.commit_width),
+    ];
+    // Every commit-slot bucket is an architectural counter too: the CPI
+    // stack must not shift by a single slot when a tracer watches.
+    for (cause, slots) in cpu.cpi_stack.iter() {
+        fingerprint.push((cause.name(), slots));
+    }
+    fingerprint
 }
 
 proptest! {
@@ -179,5 +186,22 @@ proptest! {
         );
         // The epochs really tiled the run they claim to describe.
         prop_assert_eq!(profiled.series.total_insts(), plain.insts);
+
+        // Commit-slot conservation holds end to end: every slot of every
+        // cycle is attributed to exactly one cause.
+        let cpu = &plain.raw.cpu;
+        let total: u64 = cpu.cpi_stack.slots().iter().sum();
+        prop_assert_eq!(total, plain.cycles * cpu.commit_width);
+
+        // The per-instruction pipeline view is a pure read of whatever
+        // survived the (wrapping) ring: building and rendering it must
+        // always produce a document the Konata validator accepts.
+        let records = cpe::trace::build_records(&profiled.events);
+        let konata = cpe::trace::konata_text(&records);
+        prop_assert!(
+            cpe::trace::validate_konata(&konata).is_ok(),
+            "pipeview output must validate: {:?}",
+            cpe::trace::validate_konata(&konata)
+        );
     }
 }
