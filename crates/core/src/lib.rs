@@ -42,6 +42,7 @@
 //! assert!(dual.ipc >= naive.ipc);
 //! ```
 
+mod backend;
 mod bench;
 mod config;
 mod diff;
@@ -55,6 +56,7 @@ mod report;
 mod simulator;
 mod validate;
 
+pub use backend::{BackendKind, RecordedWorkload, RECORD_HEADROOM};
 pub use bench::{peak_rss_bytes, BenchEntry, BenchReport};
 pub use config::SimConfig;
 pub use diff::{diff_json, parse_json, DiffEntry, DiffReport, JsonValue};
@@ -67,5 +69,7 @@ pub use report::{detailed_report, explain_report};
 pub use simulator::Simulator;
 pub use validate::validate_cpi_stacks;
 // The commit-slot accounting types surface here because the CPI stack is
-// part of this crate's exported documents and reports.
-pub use cpe_cpu::{CpiStack, StallCause};
+// part of this crate's exported documents and reports; the execution
+// backend seam surfaces because [`BackendKind`] selects implementations
+// of it.
+pub use cpe_cpu::{CpiStack, ExecBackend, StallCause};

@@ -1,0 +1,69 @@
+//! The execution-backend abstraction between functional execution and
+//! the timing model.
+//!
+//! [`Core`](crate::Core) does not care *where* its committed-path
+//! [`DynInst`] stream comes from — live functional emulation (the direct
+//! backend), a replayed [`cpe_isa::replay::RecordedTrace`] (the replay
+//! backend), a trace file, or a synthetic generator. [`ExecBackend`] is
+//! that seam: one pull method, no iterator machinery required of
+//! implementors, object-safe so heterogeneous backends can be boxed.
+//!
+//! Every `Iterator<Item = DynInst>` is an `ExecBackend` for free, which
+//! keeps the existing emulator/injector/synthetic call sites untouched.
+
+use cpe_isa::DynInst;
+
+/// A source of committed-path instructions for the timing model.
+pub trait ExecBackend {
+    /// The next committed instruction, or `None` at end of stream.
+    ///
+    /// The stream must be deterministic: the timing model's byte-identity
+    /// contract (replay vs direct, worker counts, cache states) rests on
+    /// every backend handing over the exact same records in the exact
+    /// same order on every run.
+    fn next_inst(&mut self) -> Option<DynInst>;
+}
+
+impl<I: Iterator<Item = DynInst>> ExecBackend for I {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.next()
+    }
+}
+
+impl ExecBackend for Box<dyn ExecBackend + '_> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        (**self).next_inst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_isa::{Inst, Mode};
+
+    fn di(pc: u64) -> DynInst {
+        DynInst {
+            pc,
+            inst: Inst::nop(),
+            mem_addr: None,
+            taken: false,
+            next_pc: pc + 4,
+            mode: Mode::User,
+        }
+    }
+
+    #[test]
+    fn iterators_are_backends_for_free() {
+        let mut backend = vec![di(0x1000), di(0x1004)].into_iter();
+        assert_eq!(backend.next_inst().unwrap().pc, 0x1000);
+        assert_eq!(backend.next_inst().unwrap().pc, 0x1004);
+        assert!(backend.next_inst().is_none());
+    }
+
+    #[test]
+    fn boxed_backends_dispatch_dynamically() {
+        let mut boxed: Box<dyn ExecBackend> = Box::new(vec![di(0x2000)].into_iter());
+        assert_eq!(boxed.next_inst().unwrap().pc, 0x2000);
+        assert!(boxed.next_inst().is_none());
+    }
+}

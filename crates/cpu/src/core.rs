@@ -6,6 +6,7 @@ use cpe_isa::{DynInst, Mode, Op, OpClass, Reg, INST_BYTES};
 use cpe_mem::{Addr, Cycle, LoadOutcome, LoadSource, MemStats, MemSystem, StoreOutcome};
 use cpe_trace::{EventKind, TraceHandle};
 
+use crate::backend::ExecBackend;
 use crate::bpred::{Btb, DirectionPredictor, Ras};
 use crate::config::{CpuConfig, DirPredictorKind, Disambiguation};
 use crate::cpi::StallCause;
@@ -56,17 +57,56 @@ enum StallReason {
     ICache,
 }
 
+/// One-slot lookahead over an [`ExecBackend`]. The backend trait is a
+/// bare pull interface (no `peek`), and `Peekable` would demand a full
+/// `Iterator`; this adapter gives the frontend the single instruction of
+/// lookahead it needs for block-boundary and end-of-stream decisions.
+struct Feed<B> {
+    backend: B,
+    slot: Option<DynInst>,
+}
+
+impl<B: ExecBackend> Feed<B> {
+    fn new(backend: B) -> Feed<B> {
+        Feed {
+            backend,
+            slot: None,
+        }
+    }
+
+    fn peek(&mut self) -> Option<&DynInst> {
+        if self.slot.is_none() {
+            self.slot = self.backend.next_inst();
+        }
+        self.slot.as_ref()
+    }
+
+    fn next(&mut self) -> Option<DynInst> {
+        self.slot.take().or_else(|| self.backend.next_inst())
+    }
+}
+
+// Manual so `Core<Box<dyn ExecBackend>>` stays Debug (trait objects
+// carry no Debug bound).
+impl<B> std::fmt::Debug for Feed<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Feed").field("slot", &self.slot).finish()
+    }
+}
+
 /// The dynamic superscalar timing model.
 ///
-/// Consumes a committed-path [`DynInst`] stream (usually an
-/// [`crate::Emulator`], possibly wrapped by the OS-activity injector from
-/// `cpe-workloads`) and owns the [`MemSystem`] whose data-cache port
-/// behaviour is under study. See the crate docs for an end-to-end example.
+/// Consumes a committed-path [`DynInst`] stream through an
+/// [`ExecBackend`] — usually an [`crate::Emulator`] (possibly wrapped by
+/// the OS-activity injector from `cpe-workloads`) on the direct path, or
+/// a replayed recording on the replay path — and owns the [`MemSystem`]
+/// whose data-cache port behaviour is under study. See the crate docs
+/// for an end-to-end example.
 #[derive(Debug)]
-pub struct Core<I: Iterator<Item = DynInst>> {
+pub struct Core<B: ExecBackend> {
     config: CpuConfig,
     mem: MemSystem,
-    trace: std::iter::Peekable<I>,
+    trace: Feed<B>,
     now: Cycle,
     next_seq: u64,
     rob: VecDeque<RobEntry>,
@@ -120,13 +160,14 @@ pub struct Core<I: Iterator<Item = DynInst>> {
     commit_log: Vec<(Cycle, u64)>,
 }
 
-impl<I: Iterator<Item = DynInst>> Core<I> {
-    /// Build a core over a memory system and an instruction stream.
+impl<B: ExecBackend> Core<B> {
+    /// Build a core over a memory system and an instruction stream (any
+    /// [`ExecBackend`]; plain `Iterator<Item = DynInst>`s qualify).
     ///
     /// # Panics
     ///
     /// Panics when `config` fails [`CpuConfig::validate`].
-    pub fn new(config: CpuConfig, mem: MemSystem, trace: I) -> Core<I> {
+    pub fn new(config: CpuConfig, mem: MemSystem, trace: B) -> Core<B> {
         config.validate();
         let lsq = LsqTracker::new(config.load_queue, config.store_queue);
         let sched = Scheduler::new(config.rob_entries);
@@ -143,7 +184,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             lsq,
             config,
             mem,
-            trace: trace.peekable(),
+            trace: Feed::new(trace),
             now: 0,
             next_seq: 0,
             rob: VecDeque::new(),
@@ -2082,7 +2123,7 @@ mod oracle_props {
 
     /// One generated instruction, rendered to assembler text later.
     #[derive(Debug, Clone)]
-    enum GenInst {
+    pub(super) enum GenInst {
         /// Register-register ALU op.
         Rrr(&'static str, u8, u8, u8),
         /// Register-immediate ALU op.
@@ -2122,7 +2163,7 @@ mod oracle_props {
     /// long-latency divide to stretch the event queue, and loads/stores
     /// of every width packed into 64 bytes so partial overlaps (the
     /// store-index chunk walk) are common.
-    fn arb_inst() -> impl Strategy<Value = GenInst> {
+    pub(super) fn arb_inst() -> impl Strategy<Value = GenInst> {
         let reg = 0u8..POOL.len() as u8;
         prop_oneof![
             3 => (
@@ -2147,7 +2188,7 @@ mod oracle_props {
     /// Wrap a generated body in a self-contained program: seed the pool,
     /// then run the body three times around a backward branch (redirects
     /// and re-dispatch exercise candidate-set teardown across the loop).
-    fn program_text(seeds: &[i64], body: &[GenInst]) -> String {
+    pub(super) fn program_text(seeds: &[i64], body: &[GenInst]) -> String {
         use std::fmt::Write;
         let mut src = String::from(".data\nbuf: .space 256\n.text\nmain:\n    la t0, buf\n");
         for (slot, &seed) in seeds.iter().enumerate() {
@@ -2166,7 +2207,7 @@ mod oracle_props {
     /// does, so stack equality proves the bulk-record attribution is
     /// exactly what per-cycle stepping would have produced.
     #[derive(Debug, PartialEq, Eq)]
-    struct RunLog {
+    pub(super) struct RunLog {
         issues: Vec<(Cycle, u64)>,
         commits: Vec<(Cycle, u64)>,
         cycles: u64,
@@ -2177,17 +2218,25 @@ mod oracle_props {
     }
 
     fn run_mode(src: &str, window: usize, policy: Disambiguation, oracle: bool) -> RunLog {
+        let program = assemble(src).expect("generated programs assemble");
+        run_stream(Emulator::new(program), window, policy, oracle)
+    }
+
+    /// Run any committed-path stream through a fresh core and log what
+    /// the equivalence suites compare ([`run_mode`] for source text; the
+    /// replay properties feed recorded traces through here directly).
+    pub(super) fn run_stream<B: crate::ExecBackend>(
+        trace: B,
+        window: usize,
+        policy: Disambiguation,
+        oracle: bool,
+    ) -> RunLog {
         let cpu = CpuConfig {
             rob_entries: window,
             disambiguation: policy,
             ..CpuConfig::default()
         };
-        let program = assemble(src).expect("generated programs assemble");
-        let mut core = Core::new(
-            cpu,
-            MemSystem::new(MemConfig::default()),
-            Emulator::new(program),
-        );
+        let mut core = Core::new(cpu, MemSystem::new(MemConfig::default()), trace);
         core.oracle = oracle;
         while core.step() {}
         // The conservation invariant, on every generated program.
@@ -2234,6 +2283,52 @@ mod oracle_props {
                     );
                     prop_assert_eq!(
                         &event, &oracle,
+                        "window {} under {:?}", window, policy
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Property tests pitting the replay backend against direct functional
+/// execution: on random programs, for every window size and
+/// disambiguation policy, a core fed a [`cpe_isa::replay::RecordedTrace`]
+/// must produce the identical per-cycle issue and commit sequences — and
+/// the identical CPI stack — as a core driving the emulator live. One
+/// recording serves all nine timing configurations, which is exactly the
+/// record-once / replay-many contract the sweep relies on.
+#[cfg(test)]
+mod replay_props {
+    use super::oracle_props::{arb_inst, program_text, run_stream};
+    use super::*;
+    use cpe_isa::asm::assemble;
+    use cpe_isa::replay::RecordedTrace;
+    use cpe_isa::Emulator;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn replay_matches_direct_execution_per_cycle(
+            seeds in prop::collection::vec(-1000i64..1000, 12),
+            body in prop::collection::vec(arb_inst(), 1..40),
+        ) {
+            let src = program_text(&seeds, &body);
+            let program = assemble(&src).expect("generated programs assemble");
+            // Record once; replay through every timing configuration.
+            let recorded = RecordedTrace::record(Emulator::new(program.clone()), None);
+            prop_assert!(recorded.complete());
+            for window in [8usize, 32, 128] {
+                for policy in [
+                    Disambiguation::Conservative,
+                    Disambiguation::Perfect,
+                    Disambiguation::None,
+                ] {
+                    let direct = run_stream(Emulator::new(program.clone()), window, policy, false);
+                    let replay = run_stream(recorded.iter(), window, policy, false);
+                    prop_assert_eq!(
+                        &direct, &replay,
                         "window {} under {:?}", window, policy
                     );
                 }

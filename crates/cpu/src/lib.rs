@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+mod backend;
 pub mod bpred;
 mod config;
 mod core;
@@ -51,6 +52,7 @@ mod sched;
 mod stats;
 mod watchdog;
 
+pub use backend::ExecBackend;
 pub use config::{CpuConfig, DirPredictorKind, Disambiguation, FuConfig, FuSpec};
 pub use core::{Core, SimResult};
 pub use cpi::{CpiStack, StallCause};

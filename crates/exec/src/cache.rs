@@ -17,7 +17,7 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use cpe_core::{config_json, JsonValue, METRICS_SCHEMA};
+use cpe_core::{config_json, BackendKind, JsonValue, METRICS_SCHEMA};
 use cpe_workloads::Scale;
 
 use crate::job::{scale_name, Job};
@@ -28,7 +28,10 @@ pub const DEFAULT_CACHE_DIR: &str = ".cpe-cache";
 
 /// Version of the key derivation itself, folded into every hash: bump it
 /// and every prior entry is a clean miss (never a wrong hit).
-pub const CACHE_SCHEMA: u32 = 1;
+///
+/// History: 2 added the execution backend and its trace-format version
+/// to the key document (the record-once/replay-many backend).
+pub const CACHE_SCHEMA: u32 = 2;
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -75,20 +78,31 @@ pub struct CacheKey(u64);
 
 impl CacheKey {
     /// Key for a [`Job`]: hash of the canonical encoding of its config
-    /// plus workload id, scale, instruction window, and both schema
-    /// versions (document and key derivation).
+    /// plus workload id, scale, instruction window, execution backend
+    /// (with its trace-format version), and both schema versions
+    /// (document and key derivation).
+    ///
+    /// The backend is part of the address even though direct and replay
+    /// promise byte-identical documents: keeping their entries separate
+    /// means the promise stays *checkable* (`cpe diff` between a direct
+    /// and a replay run exercises both paths instead of one serving the
+    /// other from cache), and a replay trace-format bump invalidates
+    /// only replay-path entries.
     pub fn for_job(job: &Job) -> CacheKey {
-        CacheKey::for_config_text(
+        CacheKey::for_config_backend(
             &config_json(&job.config),
             job.workload.name(),
             job.scale,
             job.max_insts,
+            job.backend,
         )
         .expect("config_json emits well-formed JSON")
     }
 
-    /// Key from an already-encoded configuration document. Field order in
-    /// `config_text` is irrelevant: the text is canonicalized first.
+    /// Key from an already-encoded configuration document, for the
+    /// default (direct) backend — the form the fabric protocol and cache
+    /// tooling use. Field order in `config_text` is irrelevant: the text
+    /// is canonicalized first.
     ///
     /// # Errors
     ///
@@ -99,6 +113,21 @@ impl CacheKey {
         scale: Scale,
         max_insts: Option<u64>,
     ) -> Result<CacheKey, String> {
+        CacheKey::for_config_backend(config_text, workload, scale, max_insts, BackendKind::Direct)
+    }
+
+    /// [`CacheKey::for_config_text`] with an explicit execution backend.
+    ///
+    /// # Errors
+    ///
+    /// When `config_text` is not well-formed JSON.
+    pub fn for_config_backend(
+        config_text: &str,
+        workload: &str,
+        scale: Scale,
+        max_insts: Option<u64>,
+        backend: BackendKind,
+    ) -> Result<CacheKey, String> {
         let config = canonical_json(config_text)?;
         let window = match max_insts {
             Some(n) => n.to_string(),
@@ -106,8 +135,11 @@ impl CacheKey {
         };
         let key_doc = format!(
             "{{\"cache_schema\":{CACHE_SCHEMA},\"metrics_schema\":{METRICS_SCHEMA},\
+             \"backend\":\"{}\",\"trace_format\":{},\
              \"config\":{config},\"workload\":\"{workload}\",\"scale\":\"{}\",\
              \"max_insts\":{window}}}",
+            backend.name(),
+            backend.trace_format(),
             scale_name(scale)
         );
         Ok(CacheKey(fnv1a64(key_doc.as_bytes())))
@@ -253,6 +285,7 @@ mod tests {
             workload: Workload::Sort,
             scale: Scale::Test,
             max_insts: Some(5_000),
+            backend: BackendKind::Direct,
         }
     }
 
@@ -297,43 +330,93 @@ mod tests {
         let mut other = base.clone();
         other.max_insts = Some(5_001);
         assert_ne!(key, CacheKey::for_job(&other));
-        let mut other = base;
+        let mut other = base.clone();
         other.max_insts = None;
         assert_ne!(key, CacheKey::for_job(&other));
+        let mut other = base;
+        other.backend = BackendKind::Replay;
+        assert_ne!(
+            key,
+            CacheKey::for_job(&other),
+            "replay and direct entries must not serve each other"
+        );
     }
 
     #[test]
     fn a_schema_bump_invalidates_stale_entries() {
         // Reconstruct the key derivation by hand for the current schema
-        // and for the previous one. The rebuilt current-schema key must
+        // and for stale variants. The rebuilt current-schema key must
         // match `for_job` exactly (proving the reconstruction is
-        // faithful), and the previous-schema key must differ — so a
-        // cache populated by an older build misses cleanly after a
-        // METRICS_SCHEMA bump, with no migration step.
+        // faithful), and every stale variant must differ — so a cache
+        // populated by an older build misses cleanly after a
+        // METRICS_SCHEMA, CACHE_SCHEMA, or replay trace-format bump,
+        // with no migration step.
         let base = job(SimConfig::dual_port());
         let current = CacheKey::for_job(&base);
         let config = canonical_json(&config_json(&base.config)).unwrap();
-        let key_doc = |metrics_schema: u32| {
+        let key_doc = |metrics_schema: u32, backend: &str, trace_format: u32| {
             format!(
                 "{{\"cache_schema\":{CACHE_SCHEMA},\"metrics_schema\":{metrics_schema},\
+                 \"backend\":\"{backend}\",\"trace_format\":{trace_format},\
                  \"config\":{config},\"workload\":\"sort\",\"scale\":\"test\",\
                  \"max_insts\":5000}}"
             )
         };
         assert_eq!(
             current,
-            CacheKey(fnv1a64(key_doc(METRICS_SCHEMA).as_bytes()))
+            CacheKey(fnv1a64(key_doc(METRICS_SCHEMA, "direct", 0).as_bytes()))
         );
-        let stale = CacheKey(fnv1a64(key_doc(METRICS_SCHEMA - 1).as_bytes()));
-        assert_ne!(current, stale, "schema bump must change the address");
+        let stale_metrics = CacheKey(fnv1a64(key_doc(METRICS_SCHEMA - 1, "direct", 0).as_bytes()));
+        assert_ne!(
+            current, stale_metrics,
+            "schema bump must change the address"
+        );
+
+        // The CACHE_SCHEMA=1 derivation (no backend/trace_format fields)
+        // must address different entries than the current one, for both
+        // backends: nothing written by a pre-replay build can serve.
+        let v1_doc = format!(
+            "{{\"cache_schema\":1,\"metrics_schema\":{METRICS_SCHEMA},\
+             \"config\":{config},\"workload\":\"sort\",\"scale\":\"test\",\
+             \"max_insts\":5000}}"
+        );
+        let v1 = CacheKey(fnv1a64(v1_doc.as_bytes()));
+        let mut replay = base.clone();
+        replay.backend = BackendKind::Replay;
+        let replay_key = CacheKey::for_job(&replay);
+        assert_ne!(v1, current, "cache_schema bump must change the address");
+        assert_ne!(v1, replay_key, "for either backend");
+
+        // A replay trace-format bump must re-address replay entries and
+        // leave direct entries alone.
+        let replay_format = BackendKind::Replay.trace_format();
+        assert_eq!(
+            replay_key,
+            CacheKey(fnv1a64(
+                key_doc(METRICS_SCHEMA, "replay", replay_format).as_bytes()
+            ))
+        );
+        let bumped_format = CacheKey(fnv1a64(
+            key_doc(METRICS_SCHEMA, "replay", replay_format + 1).as_bytes(),
+        ));
+        assert_ne!(replay_key, bumped_format, "format bump re-addresses replay");
+        assert_eq!(
+            current,
+            CacheKey(fnv1a64(key_doc(METRICS_SCHEMA, "direct", 0).as_bytes())),
+            "direct keys are unaffected by the replay format"
+        );
 
         let dir = tempdir("schema-bump");
         let cache = ResultCache::new(&dir);
-        cache.store(&stale, "{\"schema\":2}").unwrap();
-        assert!(
-            cache.lookup(&current).is_none(),
-            "a stale-schema entry must never serve a current-schema job"
-        );
+        cache.store(&stale_metrics, "{\"schema\":2}").unwrap();
+        cache.store(&v1, "{\"schema\":2}").unwrap();
+        cache.store(&bumped_format, "{\"schema\":3}").unwrap();
+        for key in [current, replay_key] {
+            assert!(
+                cache.lookup(&key).is_none(),
+                "a stale-schema entry must never serve a current-schema job"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -289,6 +289,9 @@ pub fn tiny_plan() -> SweepPlan {
         workloads: vec![Workload::Compress, Workload::Sort],
         scale: Scale::Test,
         max_insts: Some(3_000),
+        // The fabric protocol ships direct-backend jobs only; replay's
+        // record-once sharing is a single-process property.
+        backend: cpe_core::BackendKind::Direct,
     }
 }
 

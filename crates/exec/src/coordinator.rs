@@ -1094,6 +1094,7 @@ mod tests {
                 workload: Workload::Sort,
                 scale: Scale::Test,
                 max_insts: Some(1_000),
+                backend: cpe_core::BackendKind::Direct,
             })
             .collect()
     }

@@ -4,12 +4,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use cpe_core::{profile_json, ProfileOptions, SimConfig, SimError, Simulator};
+use cpe_core::{profile_json, BackendKind, ProfileOptions, SimConfig, SimError, Simulator};
 use cpe_workloads::{Scale, Workload};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::observe::SweepProgress;
 use crate::scheduler::{run_work_stealing, SchedulerStats};
+use crate::traces::TraceStore;
 
 /// The stable name of a [`Scale`], used in cache keys and the job
 /// protocol.
@@ -81,6 +82,11 @@ pub struct Job {
     pub scale: Scale,
     /// Committed-instruction window (`None` runs to completion).
     pub max_insts: Option<u64>,
+    /// How the cell obtains its instruction stream. Replay and direct
+    /// produce byte-identical documents; the backend is still part of
+    /// the cache key so the equivalence stays *checkable* from cold
+    /// caches (see `CacheKey::for_job`).
+    pub backend: BackendKind,
 }
 
 impl Job {
@@ -138,15 +144,38 @@ pub struct JobOutcome {
 
 /// Compute one job's document (no cache involvement), with panic
 /// isolation: a panicking cell becomes [`SimError::WorkerPanic`].
-fn compute(job: &Job) -> Result<String, SimError> {
+///
+/// A replay-backend job pulls its recording from `traces` (recording on
+/// the fly into a private store when the caller attached none), then
+/// profiles over the replayed stream; the document is byte-identical to
+/// the direct path's.
+fn compute(job: &Job, traces: Option<&TraceStore>) -> Result<String, SimError> {
     match catch_unwind(AssertUnwindSafe(|| {
         let simulator = Simulator::try_new(job.config.clone())?;
-        let run = simulator.try_profile(
-            job.workload,
-            job.scale,
-            job.max_insts,
-            ProfileOptions::default(),
-        )?;
+        let run = match job.backend {
+            BackendKind::Direct => simulator.try_profile(
+                job.workload,
+                job.scale,
+                job.max_insts,
+                ProfileOptions::default(),
+            )?,
+            BackendKind::Replay => {
+                let own_store;
+                let store = match traces {
+                    Some(store) => store,
+                    None => {
+                        own_store = TraceStore::new();
+                        &own_store
+                    }
+                };
+                let recorded = store.get(job);
+                simulator.try_profile_recorded(
+                    &recorded,
+                    job.max_insts,
+                    ProfileOptions::default(),
+                )?
+            }
+        };
         Ok(profile_json(&run, simulator.config()))
     })) {
         Ok(outcome) => outcome,
@@ -165,15 +194,25 @@ fn compute(job: &Job) -> Result<String, SimError> {
 /// Failures are never cached — a watchdog abort or panic re-runs next
 /// time rather than becoming a sticky error.
 pub fn run_job(job: &Job, cache: Option<&ResultCache>) -> JobOutcome {
+    run_job_traced(job, cache, None)
+}
+
+/// [`run_job`] with an optional shared recording store for
+/// replay-backend jobs. Direct-backend jobs never touch the store.
+pub fn run_job_traced(
+    job: &Job,
+    cache: Option<&ResultCache>,
+    traces: Option<&TraceStore>,
+) -> JobOutcome {
     let started = Instant::now();
     let (document, status) = match cache {
-        None => (compute(job), CacheStatus::Bypass),
+        None => (compute(job, traces), CacheStatus::Bypass),
         Some(cache) => {
             let key = job.cache_key();
             match cache.lookup(&key) {
                 Some(document) => (Ok(document), CacheStatus::Hit),
                 None => {
-                    let document = compute(job);
+                    let document = compute(job, traces);
                     if let Ok(document) = &document {
                         // Best-effort: an unwritable cache degrades to
                         // recomputation, never to a failed job.
@@ -218,6 +257,21 @@ pub fn execute_jobs_observed(
     cache: Option<&ResultCache>,
     progress: Option<&SweepProgress>,
 ) -> (Vec<JobOutcome>, SchedulerStats) {
+    execute_jobs_traced(jobs, workers, cache, progress, None)
+}
+
+/// [`execute_jobs_observed`] with an optional shared recording store:
+/// replay-backend cells pull their workload's recording from it instead
+/// of re-running the functional emulator per cell. The sweep layer
+/// pre-populates the store before scheduling (see
+/// `SweepPlan::run_with_progress`).
+pub fn execute_jobs_traced(
+    jobs: &[Job],
+    workers: usize,
+    cache: Option<&ResultCache>,
+    progress: Option<&SweepProgress>,
+    traces: Option<&TraceStore>,
+) -> (Vec<JobOutcome>, SchedulerStats) {
     // One validation per distinct config, not one per cell.
     let mut seen: Vec<(&SimConfig, Option<SimError>)> = Vec::new();
     let prechecked: Vec<Option<SimError>> = jobs
@@ -239,7 +293,7 @@ pub fn execute_jobs_observed(
     let (ran, stats) = run_work_stealing(&runnable, workers, |_, &job_index| {
         let outcome = JobOutcome {
             index: job_index,
-            ..run_job(&jobs[job_index], cache)
+            ..run_job_traced(&jobs[job_index], cache, traces)
         };
         if let Some(progress) = progress {
             progress.cell_done(outcome.cache, outcome.document.is_err());
@@ -292,6 +346,7 @@ mod tests {
                         workload,
                         scale: Scale::Test,
                         max_insts: Some(3_000),
+                        backend: BackendKind::Direct,
                     })
             })
             .collect()

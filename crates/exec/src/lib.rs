@@ -41,13 +41,14 @@ pub mod render;
 pub mod scheduler;
 pub mod serve;
 pub mod sweep;
+pub mod traces;
 pub mod worker;
 
 pub use cache::{canonical_json, fnv1a64, CacheKey, CacheStats, ResultCache, DEFAULT_CACHE_DIR};
 pub use coordinator::{Coordinator, FabricOptions, FabricReport, FabricStats};
 pub use job::{
-    execute_jobs, named_config, preset_by_name, preset_configs, run_job, scale_by_name, scale_name,
-    workload_by_name, CacheStatus, Job, JobOutcome,
+    execute_jobs, named_config, preset_by_name, preset_configs, run_job, run_job_traced,
+    scale_by_name, scale_name, workload_by_name, CacheStatus, Job, JobOutcome,
 };
 pub use observe::{
     query_status, EventLog, FabricObserver, LogSummary, SharedBuffer, SweepProgress, WorkerReport,
@@ -57,6 +58,7 @@ pub use protocol::{config_fingerprint, JobSpec, StatusBody, WorkerStatus, FABRIC
 pub use scheduler::{effective_workers, run_work_stealing, SchedulerStats};
 pub use serve::{Reply, ServeDefaults, ServeLimits, Server};
 pub use sweep::{SweepPlan, SweepResults, SweepStats};
+pub use traces::TraceStore;
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};
 
 use std::time::Instant;

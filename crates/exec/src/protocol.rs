@@ -229,6 +229,10 @@ impl JobSpec {
             workload,
             scale,
             max_insts: self.max_insts,
+            // Fabric leases are always direct: the recording store never
+            // crosses process boundaries, and a lone cell gains nothing
+            // from record-then-replay.
+            backend: cpe_core::BackendKind::Direct,
         })
     }
 
@@ -649,6 +653,7 @@ mod tests {
             workload: Workload::Sort,
             scale: Scale::Test,
             max_insts: Some(5_000),
+            backend: cpe_core::BackendKind::Direct,
         }
     }
 

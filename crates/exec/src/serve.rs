@@ -155,6 +155,8 @@ fn parse_request(
             workload,
             scale,
             max_insts,
+            // Served jobs are independent one-offs; they run direct.
+            backend: cpe_core::BackendKind::Direct,
         }),
         id,
     ))

@@ -11,14 +11,15 @@
 use std::fmt;
 use std::time::Instant;
 
-use cpe_core::{JsonValue, SimConfig, SimError, METRICS_SCHEMA};
+use cpe_core::{BackendKind, JsonValue, SimConfig, SimError, METRICS_SCHEMA};
 use cpe_stats::{geometric_mean, Table};
 use cpe_workloads::{Scale, Workload};
 
 use crate::cache::ResultCache;
-use crate::job::{execute_jobs_observed, preset_configs, scale_name, CacheStatus, Job, JobOutcome};
+use crate::job::{execute_jobs_traced, preset_configs, scale_name, CacheStatus, Job, JobOutcome};
 use crate::observe::SweepProgress;
 use crate::render::{member, number_at, parse, render};
+use crate::traces::TraceStore;
 
 /// The grid a sweep executes: configurations × workloads at one scale
 /// and instruction window.
@@ -32,6 +33,11 @@ pub struct SweepPlan {
     pub scale: Scale,
     /// Committed-instruction window for every cell.
     pub max_insts: Option<u64>,
+    /// Execution backend for every cell. With [`BackendKind::Replay`],
+    /// each distinct `(workload, scale, max_insts)` tuple is recorded
+    /// exactly once *before* any cell is scheduled, and every cell
+    /// replays the shared recording.
+    pub backend: BackendKind,
 }
 
 impl SweepPlan {
@@ -43,7 +49,14 @@ impl SweepPlan {
             workloads: Workload::ALL.to_vec(),
             scale,
             max_insts,
+            backend: BackendKind::Direct,
         }
+    }
+
+    /// This plan with a different execution backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> SweepPlan {
+        self.backend = backend;
+        self
     }
 
     /// The grid as jobs, workload-major (matching the serial
@@ -57,6 +70,7 @@ impl SweepPlan {
                     workload,
                     scale: self.scale,
                     max_insts: self.max_insts,
+                    backend: self.backend,
                 })
             })
             .collect()
@@ -115,17 +129,35 @@ impl SweepPlan {
         }
         let started = Instant::now();
         let jobs = self.jobs();
-        let (outcomes, scheduler) = execute_jobs_observed(&jobs, workers, cache, progress);
+        // Record-once happens here, before any cell is scheduled: a
+        // replay sweep's functional cost is one recording per distinct
+        // (workload, scale, max_insts) tuple, never one per cell.
+        let traces = match self.backend {
+            BackendKind::Direct => None,
+            BackendKind::Replay => {
+                let store = TraceStore::new();
+                store.record_all(&jobs);
+                Some(store)
+            }
+        };
+        let (outcomes, scheduler) =
+            execute_jobs_traced(&jobs, workers, cache, progress, traces.as_ref());
         if let Some(progress) = progress {
             progress.finish();
         }
-        Ok(SweepResults::assemble(
+        let mut results = SweepResults::assemble(
             self.clone(),
             outcomes,
             scheduler.workers,
             scheduler.steals,
             started.elapsed().as_secs_f64(),
-        ))
+        );
+        if let Some(traces) = &traces {
+            let (recorded, reused) = traces.counts();
+            results.stats.traces_recorded = recorded;
+            results.stats.traces_reused = reused;
+        }
+        Ok(results)
     }
 }
 
@@ -148,6 +180,10 @@ pub struct SweepStats {
     pub workers: usize,
     /// Work-stealing migrations between workers.
     pub steals: u64,
+    /// Recordings made by the replay backend (zero on a direct sweep).
+    pub traces_recorded: u64,
+    /// Cells that replayed an existing recording.
+    pub traces_reused: u64,
 }
 
 impl SweepStats {
@@ -177,7 +213,15 @@ impl fmt::Display for SweepStats {
             self.bypassed,
             self.failed,
             self.hit_rate() * 100.0
-        )
+        )?;
+        if self.traces_recorded + self.traces_reused > 0 {
+            write!(
+                f,
+                ", trace: {} recorded, {} reused",
+                self.traces_recorded, self.traces_reused
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -380,6 +424,7 @@ mod tests {
             workloads: vec![Workload::Compress, Workload::Sort],
             scale: Scale::Test,
             max_insts: Some(4_000),
+            backend: BackendKind::Direct,
         }
     }
 
@@ -413,9 +458,34 @@ mod tests {
             workloads: vec![],
             scale: Scale::Test,
             max_insts: None,
+            backend: BackendKind::Direct,
         };
         assert!(empty.validate().is_err());
         assert!(empty.run(1, None).is_err());
+    }
+
+    #[test]
+    fn replay_sweep_records_once_per_workload_and_matches_direct() {
+        let direct = tiny_plan().run(2, None).expect("direct sweep runs");
+        let replay = tiny_plan()
+            .with_backend(BackendKind::Replay)
+            .run(2, None)
+            .expect("replay sweep runs");
+        assert_eq!(
+            direct.ipc_table().to_csv(),
+            replay.ipc_table().to_csv(),
+            "replay must be byte-identical to direct"
+        );
+        assert_eq!(direct.aggregate_json(), replay.aggregate_json());
+        assert_eq!(replay.stats.traces_recorded, 2, "one per workload");
+        assert_eq!(replay.stats.traces_reused, 4, "every cell reuses");
+        assert_eq!(direct.stats.traces_recorded, 0);
+        let footer = replay.stats.to_string();
+        assert!(footer.ends_with("trace: 2 recorded, 4 reused"), "{footer}");
+        assert!(
+            !direct.stats.to_string().contains("trace:"),
+            "direct footer stays unchanged"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The shared recording store behind the replay backend.
+//!
+//! A replay sweep must record each distinct `(workload, scale,
+//! max_insts)` tuple **exactly once** and replay it for every
+//! configuration cell — that is the backend's whole point. [`TraceStore`]
+//! is that guarantee: a thread-safe map from tuple to shared
+//! [`RecordedWorkload`], populated up front by
+//! [`TraceStore::record_all`] before any cell is scheduled, and consumed
+//! from the worker threads by [`TraceStore::get`]. The recorded/reused
+//! counters feed the sweep footer's `trace:` segment — observability
+//! only, never the results.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use cpe_core::RecordedWorkload;
+use cpe_workloads::{Scale, Workload};
+
+use crate::job::Job;
+
+type TraceKey = (Workload, Scale, Option<u64>);
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<TraceKey, Arc<RecordedWorkload>>,
+    recorded: u64,
+    reused: u64,
+}
+
+/// Recorded traces shared across the cells of one replay run.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    inner: Mutex<Inner>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    fn key(job: &Job) -> TraceKey {
+        (job.workload, job.scale, job.max_insts)
+    }
+
+    /// Record every distinct `(workload, scale, max_insts)` tuple in
+    /// `jobs` that is not already in the store, in job order. Returns how
+    /// many recordings this call made.
+    pub fn record_all(&self, jobs: &[Job]) -> u64 {
+        let mut made = 0;
+        for job in jobs {
+            let key = TraceStore::key(job);
+            // Recording outside the lock is tempting, but the pre-record
+            // pass is serial by design (one recording per tuple, before
+            // scheduling); holding the lock keeps `get` racing a
+            // concurrent `record_all` correct.
+            let mut guard = self.inner.lock().expect("trace store lock");
+            let inner = &mut *guard;
+            if let Entry::Vacant(slot) = inner.map.entry(key) {
+                let recorded = RecordedWorkload::record(job.workload, job.scale, job.max_insts);
+                slot.insert(Arc::new(recorded));
+                inner.recorded += 1;
+                made += 1;
+            }
+        }
+        made
+    }
+
+    /// The recording for `job`'s tuple, recording it first if the store
+    /// does not hold it yet. A pre-populated store (see
+    /// [`TraceStore::record_all`]) makes every call a reuse.
+    pub fn get(&self, job: &Job) -> Arc<RecordedWorkload> {
+        let key = TraceStore::key(job);
+        let mut inner = self.inner.lock().expect("trace store lock");
+        if let Some(recorded) = inner.map.get(&key) {
+            let recorded = Arc::clone(recorded);
+            inner.reused += 1;
+            return recorded;
+        }
+        let recorded = Arc::new(RecordedWorkload::record(
+            job.workload,
+            job.scale,
+            job.max_insts,
+        ));
+        inner.map.insert(key, Arc::clone(&recorded));
+        inner.recorded += 1;
+        recorded
+    }
+
+    /// `(recorded, reused)`: how many recordings were made, and how many
+    /// [`TraceStore::get`] calls were served from an existing one.
+    pub fn counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("trace store lock");
+        (inner.recorded, inner.reused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpe_core::SimConfig;
+
+    fn job(workload: Workload, max_insts: Option<u64>) -> Job {
+        Job {
+            config: SimConfig::dual_port(),
+            workload,
+            scale: Scale::Test,
+            max_insts,
+            backend: cpe_core::BackendKind::Replay,
+        }
+    }
+
+    #[test]
+    fn record_all_records_each_tuple_exactly_once() {
+        let store = TraceStore::new();
+        let jobs = vec![
+            job(Workload::Sort, Some(2_000)),
+            job(Workload::Sort, Some(2_000)),
+            job(Workload::Compress, Some(2_000)),
+            job(Workload::Sort, Some(1_000)),
+        ];
+        assert_eq!(store.record_all(&jobs), 3, "distinct tuples only");
+        assert_eq!(store.record_all(&jobs), 0, "idempotent");
+        assert_eq!(store.counts(), (3, 0));
+    }
+
+    #[test]
+    fn get_reuses_prerecorded_traces_and_shares_them() {
+        let store = TraceStore::new();
+        let jobs = vec![job(Workload::Sort, Some(2_000))];
+        store.record_all(&jobs);
+        let a = store.get(&jobs[0]);
+        let b = store.get(&jobs[0]);
+        assert!(Arc::ptr_eq(&a, &b), "one recording, shared");
+        assert_eq!(store.counts(), (1, 2));
+    }
+
+    #[test]
+    fn get_records_on_the_fly_when_not_prepopulated() {
+        let store = TraceStore::new();
+        let first = job(Workload::Compress, None);
+        let recorded = store.get(&first);
+        assert_eq!(store.counts(), (1, 0));
+        assert!(
+            recorded.trace().complete(),
+            "uncapped recording runs to halt"
+        );
+        store.get(&first);
+        assert_eq!(store.counts(), (1, 1));
+    }
+}

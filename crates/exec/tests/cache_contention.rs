@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use cpe_core::SimConfig;
+use cpe_core::{BackendKind, SimConfig};
 use cpe_exec::{run_job, CacheKey, CacheStatus, Job, ResultCache, SweepPlan};
 use cpe_workloads::{Scale, Workload};
 
@@ -23,6 +23,7 @@ fn tiny_job() -> Job {
         workload: Workload::Sort,
         scale: Scale::Test,
         max_insts: Some(2_000),
+        backend: BackendKind::Direct,
     }
 }
 
@@ -92,6 +93,7 @@ fn cache_clear_racing_an_active_sweep_costs_only_recomputation() {
         workloads: vec![Workload::Compress, Workload::Sort],
         scale: Scale::Test,
         max_insts: Some(2_000),
+        backend: BackendKind::Direct,
     };
     let reference = plan.run(1, None).expect("uncached reference");
 

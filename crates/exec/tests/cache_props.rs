@@ -12,7 +12,7 @@
 //!    different key. Two distinct machines must never share a cache
 //!    entry.
 
-use cpe_core::{config_json, JsonValue, SimConfig};
+use cpe_core::{config_json, BackendKind, JsonValue, SimConfig};
 use cpe_exec::render::{parse, render};
 use cpe_exec::{CacheKey, Job};
 use cpe_workloads::{Scale, Workload};
@@ -104,6 +104,7 @@ proptest! {
             workload: Workload::Sort,
             scale: Scale::Test,
             max_insts: Some(20_000),
+            backend: BackendKind::Direct,
         };
         prop_assert_ne!(
             job(base).cache_key(),
@@ -124,6 +125,7 @@ proptest! {
             workload,
             scale,
             max_insts,
+            backend: BackendKind::Direct,
         };
         let base = job(Workload::Sort, Scale::Test, Some(max_a)).cache_key();
         prop_assert_ne!(base, job(Workload::Fft, Scale::Test, Some(max_a)).cache_key());

@@ -4,7 +4,7 @@
 //! repeated sweep is served entirely from the cache without changing a
 //! byte.
 
-use cpe_core::SimConfig;
+use cpe_core::{BackendKind, SimConfig};
 use cpe_exec::{CacheStatus, ResultCache, SweepPlan};
 use cpe_workloads::{Scale, Workload};
 
@@ -18,6 +18,7 @@ fn plan() -> SweepPlan {
         workloads: vec![Workload::Compress, Workload::Sort, Workload::Fft],
         scale: Scale::Test,
         max_insts: Some(5_000),
+        backend: BackendKind::Direct,
     }
 }
 

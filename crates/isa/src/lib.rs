@@ -21,6 +21,8 @@
 //!   round-tripping, exercised by property tests.
 //! * [`asm`] — the assembler: text in, [`Program`] out.
 //! * [`Program`] — assembled text, initialised data and the symbol table.
+//! * [`replay`] — the compact record-once / replay-many trace format
+//!   behind the replay execution backend.
 //!
 //! # Example
 //!
@@ -53,6 +55,7 @@ mod inst;
 mod op;
 mod program;
 mod reg;
+pub mod replay;
 mod trace;
 pub mod trace_io;
 

@@ -116,6 +116,74 @@ cmp "$scratch/table1.txt" "$scratch/table2.txt"
 cargo run --release --bin cpe -q -- diff "$scratch/sweep1.json" \
     "$scratch/sweep2.json" --tolerance 0 >/dev/null
 
+# Replay gate (see docs/REPLAY.md): the same smoke grid under
+# `--backend replay` must be byte-identical to the direct run above —
+# same stdout table, `cpe diff` clean at zero tolerance — while
+# recording each workload's committed path exactly once before
+# scheduling and reusing it for every cell (100% trace reuse: the
+# footer's `reused` count equals the cell count). Replay cache entries
+# are keyed apart from direct ones, so a fresh cache dir keeps every
+# cell a real recomputation and the comparison honest.
+echo "== replay gate: record-once sweep, zero-tolerance vs direct" >&2
+cpe_bin=target/release/cpe
+"$cpe_bin" sweep --jobs 2 --max 2000 --workloads compress,sort \
+    --cache-dir "$scratch/cache_replay" --backend replay \
+    --metrics-json "$scratch/replay.json" \
+    > "$scratch/replay_table.txt" 2> "$scratch/replay.log"
+cmp "$scratch/table1.txt" "$scratch/replay_table.txt"
+"$cpe_bin" diff "$scratch/sweep1.json" "$scratch/replay.json" \
+    --tolerance 0 >/dev/null
+footer="$(grep -E 'cells in .*trace: [0-9]+ recorded, [0-9]+ reused' \
+    "$scratch/replay.log" | tail -1)" || {
+    echo "replay gate: no trace footer in the sweep stderr:" >&2
+    cat "$scratch/replay.log" >&2
+    exit 1
+}
+cells="$(echo "$footer" | grep -oE '^[0-9]+')"
+recorded="$(echo "$footer" | grep -oE 'trace: [0-9]+' | grep -oE '[0-9]+')"
+reused="$(echo "$footer" | grep -oE '[0-9]+ reused' | grep -oE '[0-9]+')"
+[ "$reused" = "$cells" ] && [ "$recorded" -lt "$cells" ] || {
+    echo "replay gate: expected 100% trace reuse ($cells cells), got" \
+         "$recorded recorded, $reused reused" >&2
+    exit 1
+}
+
+# Soft replay perf gate, same philosophy as the bench gate: the ratio
+# exists to catch the replay hot path regressing to slower than direct
+# (a decode path gone quadratic, a lost Arc share), not to demand a
+# particular speedup. On this Test-scale smoke grid the timing core —
+# which both backends pay identically — dominates each cell, so the
+# wall-time ratio sits well below the 6x reduction in functional
+# executions asserted above; the measured median-of-3 ratio is printed
+# and recorded in BENCH_latest.json for eyeballing drift.
+echo "== replay perf: median-of-3 wall-time ratio vs direct" >&2
+sweep_ms() {
+    local total start end
+    start="$(date +%s%N)"
+    "$cpe_bin" sweep --jobs 2 --max 50000 --workloads compress,sort \
+        --no-cache --backend "$1" >/dev/null 2>&1
+    end="$(date +%s%N)"
+    echo $(( (end - start) / 1000000 ))
+}
+median_of_3() {
+    { sweep_ms "$1"; sweep_ms "$1"; sweep_ms "$1"; } | sort -n | sed -n 2p
+}
+direct_ms="$(median_of_3 direct)"
+replay_ms="$(median_of_3 replay)"
+replay_speedup="$(awk -v d="$direct_ms" -v r="$replay_ms" \
+    'BEGIN{printf "%.2f", (r > 0) ? d / r : 0}')"
+sed -i "s/^{/{\"replay_sweep_speedup\":$replay_speedup,/" BENCH_latest.json
+"$cpe_bin" diff BENCH_latest.json BENCH_latest.json --tolerance 0 >/dev/null
+awk -v r="$replay_speedup" 'BEGIN{exit !(r >= 0.90)}' || {
+    echo "replay perf gate: replay sweep ($replay_ms ms) is slower than" \
+         "direct ($direct_ms ms) beyond noise (speedup $replay_speedup," \
+         "gate 0.90) — investigate before merging" >&2
+    exit 1
+}
+echo "   direct $direct_ms ms vs replay $replay_ms ms (speedup" \
+     "${replay_speedup}x, soft gate 0.90; functional executions" \
+     "$cells -> $recorded)" >&2
+
 # Cycle-accounting gate (see docs/OBSERVABILITY.md "CPI stacks"): every
 # cpi_stack in the fresh golden document and the smoke-sweep document
 # must conserve commit slots exactly — sum(causes) == total ==

@@ -3,6 +3,10 @@
 //! ```text
 //! cpe asm <file.s>                  assemble and print the listing
 //! cpe trace <file.s> [-n N]         print the first N executed instructions
+//! cpe trace record --workload NAME [--scale S] [--max N] [-o FILE]
+//!                                   record a workload's committed path to a
+//!                                   compact replay trace (CPER format)
+//! cpe trace info <file.cper>        describe a recorded replay trace
 //! cpe run <file.s> [--config NAME] [--max N] [--detail] [--metrics-json FILE]
 //!                                   run the timing model, print the metrics
 //! cpe profile --workload NAME [--config NAME] [--scale S] [--max N]
@@ -28,7 +32,8 @@
 //!                                   benchmark the simulator itself over the
 //!                                   standard workloads; write BENCH_<name>.json
 //! cpe sweep [--jobs N] [--scale S] [--max N] [--configs a,b] [--workloads x,y]
-//!           [--no-cache] [--cache-dir DIR] [--metrics-json FILE] [--no-progress]
+//!           [--backend direct|replay] [--no-cache] [--cache-dir DIR]
+//!           [--metrics-json FILE] [--no-progress]
 //!           [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]
 //!            [--fabric-log FILE] [--fabric-trace FILE] [--fabric-metrics FILE]]
 //!                                   run the config × workload grid through the
@@ -45,10 +50,10 @@
 //!                                   progress counts plus a per-worker table
 //! cpe validate <file>... [--jsonl] [--cpi]
 //!                                   parse observability artifacts (JSON,
-//!                                   JSONL, or Konata pipeviews) and check
-//!                                   CPI-stack conservation at zero
-//!                                   tolerance; exit 2 on any malformed or
-//!                                   slot-leaking input
+//!                                   JSONL, Konata pipeviews, or CPER
+//!                                   replay traces) and check CPI-stack
+//!                                   conservation at zero tolerance; exit 2
+//!                                   on any malformed or slot-leaking input
 //! cpe fuzz-fabric [--cases N] [--seed S]
 //!                                   seeded chaos runs of the sweep fabric;
 //!                                   exit 1 if any diverges from serial
@@ -77,14 +82,15 @@ use cpe::exec::{
     FabricOptions, ResultCache, ServeDefaults, Server, SweepPlan, SweepProgress, SweepResults,
     WorkerOptions, DEFAULT_CACHE_DIR, DEFAULT_EVENT_CAPACITY, FABRIC_SCHEMA,
 };
+use cpe::isa::replay::{parse_recorded, write_recorded, ReplayError, REPLAY_MAGIC};
 use cpe::isa::trace_io::{write_trace, TraceReader};
 use cpe::isa::{asm::assemble, Emulator, Program};
 use cpe::stats::Table;
 use cpe::trace::{build_records, chrome_trace_json, jsonl_record, konata_text, TraceHandle};
 use cpe::workloads::{Scale, Workload};
 use cpe::{
-    diff_json, faultinject, profile_json, BenchReport, ProfileOptions, ProfiledRun, SimConfig,
-    SimError, Simulator,
+    diff_json, faultinject, profile_json, BackendKind, BenchReport, ProfileOptions, ProfiledRun,
+    RecordedWorkload, SimConfig, SimError, Simulator,
 };
 
 fn all_configs() -> Vec<SimConfig> {
@@ -452,6 +458,76 @@ fn cmd_pipeview(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `file:offset:` diagnosis for a malformed replay trace — pointing at
+/// the exact byte when the error carries one (truncation, bad flags, bad
+/// dictionary index).
+fn replay_diagnosis(path: &str, error: &ReplayError) -> String {
+    match error.offset() {
+        Some(offset) => format!("{path}:{offset}: {error}"),
+        None => format!("{path}: {error}"),
+    }
+}
+
+/// `cpe trace record`: run a workload functionally and save its
+/// committed path as a compact CPER replay trace. With `--max N` the
+/// recording keeps the same headroom past the window the replay backend
+/// records, so replaying it reproduces a direct `--max N` run exactly.
+fn cmd_trace_record(args: &[String]) -> Result<(), String> {
+    let workload_name = parse_flag(args, "--workload")
+        .ok_or_else(|| format!("trace record needs --workload NAME\n\n{}", usage()))?;
+    let workload = workload_by_name(&workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}` (see `cpe workloads`)"))?;
+    let scale = parse_scale(args)?;
+    let max = parse_number(args, "--max")?;
+    let out = parse_flag(args, "-o").unwrap_or_else(|| format!("{workload_name}.cper"));
+    let recorded = RecordedWorkload::record(workload, scale, max);
+    let file =
+        std::fs::File::create(&out).map_err(|error| format!("cannot create `{out}`: {error}"))?;
+    let bytes = write_recorded(std::io::BufWriter::new(file), recorded.trace())
+        .map_err(|error| format!("cannot write `{out}`: {error}"))?;
+    let info = recorded.trace().info();
+    println!(
+        "recorded {} instruction(s) of {workload_name} to {out}: {bytes} bytes \
+         ({:.2} bytes/record, {} dict entries{})",
+        info.records,
+        info.bytes_per_record(),
+        info.dict_entries,
+        if info.complete {
+            ", complete run"
+        } else {
+            ", capped"
+        }
+    );
+    Ok(())
+}
+
+/// `cpe trace info`: parse and fully validate a CPER replay trace, then
+/// describe it.
+fn cmd_trace_info(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|error| format!("cannot read `{path}`: {error}"))?;
+    let trace = parse_recorded(&bytes).map_err(|error| replay_diagnosis(path, &error))?;
+    let info = trace.info();
+    let window = match info.window {
+        Some(cap) => format!("recording cap {cap}"),
+        None => "uncapped".to_string(),
+    };
+    println!(
+        "{path}: CPER replay trace, {} record(s) ({}), {}, {} dict entries, \
+         {} payload bytes ({:.2} bytes/record)",
+        info.records,
+        if info.complete {
+            "complete run"
+        } else {
+            "capped"
+        },
+        window,
+        info.dict_entries,
+        info.payload_bytes,
+        info.bytes_per_record()
+    );
+    Ok(())
+}
+
 fn cmd_record(path: &str, output: &str) -> Result<(), String> {
     let program = load_program(path)?;
     let file = std::fs::File::create(output)
@@ -568,6 +644,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if let Some(text) = parse_flag(args, "--workloads") {
         plan.workloads = parse_names(&text, "workload", workload_by_name)?;
     }
+    if let Some(name) = parse_flag(args, "--backend") {
+        plan.backend = BackendKind::from_name(&name)
+            .ok_or_else(|| format!("unknown backend `{name}` (direct, replay)"))?;
+    }
     // The whole grid is validated here, before any cell is scheduled: a
     // bad configuration is a usage error (exit 2), not N failed cells.
     plan.validate().map_err(|error| error.to_string())?;
@@ -575,6 +655,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         if args.iter().any(|arg| arg == "--jobs") {
             return Err("--jobs does not apply with --coordinator \
                         (parallelism comes from the workers)"
+                .to_string());
+        }
+        if plan.backend == BackendKind::Replay {
+            return Err("--backend replay does not apply with --coordinator: \
+                        the recording store does not cross process boundaries, \
+                        so fabric workers always run direct"
                 .to_string());
         }
         run_fabric_sweep(args, plan, &address)?
@@ -775,8 +861,22 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         return Err(format!("validate needs at least one FILE\n\n{}", usage()));
     }
     for path in paths {
-        let contents = std::fs::read_to_string(path)
-            .map_err(|error| format!("cannot read `{path}`: {error}"))?;
+        let bytes =
+            std::fs::read(path).map_err(|error| format!("cannot read `{path}`: {error}"))?;
+        // Recorded replay traces are binary; recognise them by magic
+        // before any text decoding, and validate every record eagerly so
+        // truncation is diagnosed with its exact byte offset.
+        if bytes.starts_with(&REPLAY_MAGIC) {
+            let trace = parse_recorded(&bytes).map_err(|error| replay_diagnosis(path, &error))?;
+            let info = trace.info();
+            println!(
+                "{path}: ok (CPER replay trace, {} record(s), {} dict entries)",
+                info.records, info.dict_entries
+            );
+            continue;
+        }
+        let contents =
+            String::from_utf8(bytes).map_err(|error| format!("{path}: not UTF-8 text: {error}"))?;
         if jsonl_flag || path.ends_with(".jsonl") {
             let mut lines = 0usize;
             for (index, line) in contents.lines().enumerate() {
@@ -981,7 +1081,9 @@ fn cmd_configs() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  cpe asm <file.s>\n  cpe trace <file.s> [-n N]\n  cpe run <file.s> \
+    "usage:\n  cpe asm <file.s>\n  cpe trace <file.s> [-n N]\n  \
+     cpe trace record --workload NAME [--scale S] [--max N] [-o FILE]\n  \
+     cpe trace info <file.cper>\n  cpe run <file.s> \
      [--config NAME] [--max N] [--detail] [--metrics-json FILE]\n  cpe profile \
      --workload NAME [--config NAME] [--scale test|small|full] [--max N]\n              \
      [--interval N] [--ring N] [--trace-out FILE] [--trace-format chrome|jsonl]\n              \
@@ -993,7 +1095,8 @@ fn usage() -> &'static str {
      cpe fuzz-trace [--cases N] [--seed S] [--config NAME]\n  \
      cpe bench [--name N] [--config NAME] [--max N] [--out FILE] [--jobs N]\n  \
      cpe sweep [--jobs N] [--scale test|small|full] [--max N] [--configs a,b]\n            \
-     [--workloads x,y] [--no-cache] [--cache-dir DIR] [--metrics-json FILE]\n            \
+     [--workloads x,y] [--backend direct|replay] [--no-cache] [--cache-dir DIR]\n            \
+     [--metrics-json FILE]\n            \
      [--no-progress] [--coordinator ADDR [--lease-ms N] [--heartbeat-ms N]\n            \
      [--fabric-log FILE] [--fabric-trace FILE] [--fabric-metrics FILE]]\n  \
      cpe worker --connect ADDR [--name NAME] [--no-cache] [--cache-dir DIR]\n  \
@@ -1019,6 +1122,17 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         Some("asm") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &[], &[])?;
             done(cmd_asm(&args[1]))
+        }
+        Some("trace") if args.get(1).map(String::as_str) == Some("record") => {
+            reject_unknown_flags(&args[2..], &["--workload", "--scale", "--max", "-o"], &[])?;
+            done(cmd_trace_record(&args[2..]))
+        }
+        Some("trace") if args.get(1).map(String::as_str) == Some("info") => {
+            reject_unknown_flags(&args[2..], &[], &[])?;
+            let path = args
+                .get(2)
+                .ok_or_else(|| format!("trace info needs a FILE\n\n{}", usage()))?;
+            done(cmd_trace_info(path))
         }
         Some("trace") if args.len() >= 2 => {
             reject_unknown_flags(&args[1..], &["-n"], &[])?;
@@ -1113,6 +1227,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
                     "--max",
                     "--configs",
                     "--workloads",
+                    "--backend",
                     "--cache-dir",
                     "--metrics-json",
                     "--coordinator",

@@ -38,10 +38,11 @@
 
 pub use cpe_core::{
     config_json, detailed_report, diff_json, explain_report, faultinject, parse_json,
-    peak_rss_bytes, profile_json, summary_json, validate_cpi_stacks, BenchEntry, BenchReport,
-    ConfigError, CpiStack, DiffEntry, DiffReport, EpochMetrics, Experiment, JsonValue,
-    MetricsSeries, ProfileOptions, ProfiledRun, ResultRow, RunSummary, SelfProfile, SimConfig,
-    SimError, Simulator, StallCause, METRICS_SCHEMA,
+    peak_rss_bytes, profile_json, summary_json, validate_cpi_stacks, BackendKind, BenchEntry,
+    BenchReport, ConfigError, CpiStack, DiffEntry, DiffReport, EpochMetrics, ExecBackend,
+    Experiment, JsonValue, MetricsSeries, ProfileOptions, ProfiledRun, RecordedWorkload, ResultRow,
+    RunSummary, SelfProfile, SimConfig, SimError, Simulator, StallCause, METRICS_SCHEMA,
+    RECORD_HEADROOM,
 };
 
 /// The miniature RISC ISA: instructions, assembler, functional emulator.
